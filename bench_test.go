@@ -1,0 +1,260 @@
+// Package bench holds the benchmark harness that regenerates every table
+// and figure of the paper's evaluation (run with `go test -bench=. .`).
+// Each benchmark executes the corresponding experiment and reports its
+// headline quantities via b.ReportMetric, so `go test -bench` output
+// doubles as a compact reproduction log. The printable row-by-row form of
+// every figure is produced by `go run ./cmd/vipfig -exp all`.
+package bench
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/vipsim/vip/internal/experiments"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// benchDur keeps each simulated run short enough for benchmarking while
+// still covering several GOPs and bursts.
+const benchDur = 150 * sim.Millisecond
+
+// sweepOnce shares the 5-design x 15-scenario sweep between the Figure
+// 15-18 benchmarks; it is by far the most expensive experiment.
+var (
+	sweepOnce sync.Once
+	sweepVal  *experiments.ModeSweep
+	sweepErr  error
+)
+
+func sharedSweep(b *testing.B) *experiments.ModeSweep {
+	b.Helper()
+	sweepOnce.Do(func() {
+		sweepVal, sweepErr = experiments.RunModeSweep(benchDur)
+	})
+	if sweepErr != nil {
+		b.Fatal(sweepErr)
+	}
+	return sweepVal
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTable1(io.Discard)
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTable2(io.Discard)
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.WriteTable3(io.Discard)
+	}
+}
+
+// BenchmarkFig02 regenerates Figure 2: CPU time, energy/frame, interrupts
+// and FPS for 1..4 concurrent video players on the baseline.
+func BenchmarkFig02(b *testing.B) {
+	var f *experiments.Fig02
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = experiments.RunFig02(benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.CPUTimeMS60[0], "cpu_ms_1app")
+	b.ReportMetric(f.CPUTimeMS60[3], "cpu_ms_4app")
+	b.ReportMetric(f.InterruptsNorm[3], "intr_x_4app")
+	b.ReportMetric(f.FPS[3], "fps_4app")
+}
+
+// BenchmarkFig03 regenerates Figure 3: VD active time, utilization and
+// memory bandwidth under 1..4 apps plus the ideal memory.
+func BenchmarkFig03(b *testing.B) {
+	var f *experiments.Fig03
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = experiments.RunFig03(benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.ActivePerFrameMS[3], "vd_active_ms_4app")
+	b.ReportMetric(f.IdealActiveMS, "vd_active_ms_ideal4")
+	b.ReportMetric(f.Utilization[0]*100, "vd_util_pct_1app")
+	b.ReportMetric(f.Utilization[3]*100, "vd_util_pct_4app")
+	b.ReportMetric(f.AvgBWGBps[3], "bw_gbps_4app")
+	b.ReportMetric(f.TimeAbove80[3]*100, "time_gt80bw_pct_4app")
+}
+
+// BenchmarkFig05 regenerates Figure 5: the tap-interval distribution.
+func BenchmarkFig05(b *testing.B) {
+	var f *experiments.Fig05
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig05(24000, 1)
+	}
+	b.ReportMetric(f.Over05*100, "taps_gt_0.5s_pct")
+}
+
+// BenchmarkFig06 regenerates Figure 6: flick burstability.
+func BenchmarkFig06(b *testing.B) {
+	var f *experiments.Fig06
+	for i := 0; i < b.N; i++ {
+		f = experiments.RunFig06(200*60*sim.Second, 1)
+	}
+	b.ReportMetric(f.BurstableFrac()*100, "burstable_pct")
+	b.ReportMetric(float64(f.MaxBurst), "max_burst_frames")
+}
+
+// BenchmarkFig14 regenerates Figure 14a: flow time vs lane buffer size.
+func BenchmarkFig14(b *testing.B) {
+	var f *experiments.Fig14
+	for i := 0; i < b.N; i++ {
+		var err error
+		f, err = experiments.RunFig14(benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(f.FlowTimeNorm[0], "flowtime_x_0.5KB")
+	b.ReportMetric(f.FlowTimeNorm[2], "flowtime_x_2KB")
+	b.ReportMetric(f.ReadNJ[len(f.ReadNJ)-1], "read_nJ_64KB")
+}
+
+// BenchmarkFig15 regenerates Figure 15: normalized energy per frame.
+func BenchmarkFig15(b *testing.B) {
+	sw := sharedSweep(b)
+	var avg []float64
+	for i := 0; i < b.N; i++ {
+		_, avg = sw.NormalizedEnergy()
+	}
+	b.ReportMetric(avg[1], "frameburst_x")
+	b.ReportMetric(avg[2], "iptoip_x")
+	b.ReportMetric(avg[4], "vip_x")
+}
+
+// BenchmarkFig16 regenerates Figure 16: burst-mode CPU savings.
+func BenchmarkFig16(b *testing.B) {
+	sw := sharedSweep(b)
+	var eRed, iRed, intrBase, intrFB float64
+	for i := 0; i < b.N; i++ {
+		eRed, iRed, intrBase, intrFB = 0, 0, 0, 0
+		n := float64(len(sw.Cells))
+		for _, row := range sw.Cells {
+			base, fb := row[0], row[1]
+			eRed += (1 - fb.CPUEnergyJ/base.CPUEnergyJ) / n
+			iRed += (1 - float64(fb.Instructions)/float64(base.Instructions)) / n
+			intrBase += base.InterruptsP100 / n
+			intrFB += fb.InterruptsP100 / n
+		}
+	}
+	b.ReportMetric(eRed*100, "cpu_energy_red_pct")
+	b.ReportMetric(iRed*100, "instr_red_pct")
+	b.ReportMetric(intrBase, "intr_p100ms_base")
+	b.ReportMetric(intrFB, "intr_p100ms_burst")
+}
+
+// BenchmarkFig17 regenerates Figure 17: normalized flow time.
+func BenchmarkFig17(b *testing.B) {
+	sw := sharedSweep(b)
+	var avg []float64
+	for i := 0; i < b.N; i++ {
+		_, avg = sw.NormalizedFlowTime()
+	}
+	b.ReportMetric(avg[1], "frameburst_x")
+	b.ReportMetric(avg[2], "iptoip_x")
+	b.ReportMetric(avg[4], "vip_x")
+}
+
+// BenchmarkFig18 regenerates Figure 18: normalized QoS violations.
+func BenchmarkFig18(b *testing.B) {
+	sw := sharedSweep(b)
+	var avg []float64
+	for i := 0; i < b.N; i++ {
+		_, avg = sw.NormalizedViolations()
+	}
+	b.ReportMetric(avg[1], "frameburst_x")
+	b.ReportMetric(avg[3], "iptoipburst_x")
+	b.ReportMetric(avg[4], "vip_x")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: simulated
+// seconds per wall second for the heaviest scenario (4 video players,
+// baseline).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.Run(experiments.Config{
+			Mode:     platform.Baseline,
+			AppIDs:   []string{"A5", "A5", "A5", "A5"},
+			Duration: 100 * sim.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationScheduler compares the VIP hardware schedulers (EDF vs
+// RR vs fixed Priority) on the decoder-sharing workload W1.
+func BenchmarkAblationScheduler(b *testing.B) {
+	var st *experiments.SchedulerStudy
+	for i := 0; i < b.N; i++ {
+		var err error
+		st, err = experiments.RunSchedulerStudy("W1", benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range st.Rows {
+		b.ReportMetric(r.ViolationRate*100, "viol_pct_"+r.Policy.String())
+	}
+}
+
+// BenchmarkAblationBurst sweeps the frame-burst size.
+func BenchmarkAblationBurst(b *testing.B) {
+	var s *experiments.Sweep
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.RunBurstSweep(benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.Rows[0].IntrPer100ms, "intr_p100ms_burst1")
+	b.ReportMetric(s.Rows[len(s.Rows)-1].IntrPer100ms, "intr_p100ms_burst7")
+}
+
+// BenchmarkAblationLanes sweeps the virtual-lane count on W2.
+func BenchmarkAblationLanes(b *testing.B) {
+	var s *experiments.Sweep
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.RunLaneSweep(benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(s.Rows[0].ViolationRate*100, "viol_pct_1lane")
+	b.ReportMetric(s.Rows[2].ViolationRate*100, "viol_pct_3lane")
+}
+
+// BenchmarkAblationPatience sweeps the EDF switch patience, exposing the
+// context-switch thrash cliff at zero.
+func BenchmarkAblationPatience(b *testing.B) {
+	var s *experiments.Sweep
+	for i := 0; i < b.N; i++ {
+		var err error
+		s, err = experiments.RunPatienceSweep(benchDur)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.Rows[0].CtxSwitches), "ctxsw_patience0")
+	b.ReportMetric(float64(s.Rows[2].CtxSwitches), "ctxsw_patience2us")
+}

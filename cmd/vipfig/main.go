@@ -1,0 +1,158 @@
+// Command vipfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	vipfig -exp fig15           # one experiment
+//	vipfig -exp all             # everything (several minutes)
+//	vipfig -exp fig3 -duration 300ms
+//
+// Experiments: table1 table2 table3 fig2 fig3 fig5 fig6 fig14 fig15
+// fig16 fig17 fig18 (figNNa/b aliases accepted), "all" for all of the
+// paper's artifacts, or the ablation studies: sched, burst, lanes,
+// patience, ctxcost, subframe, ablation (= all six).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/vipsim/vip/internal/experiments"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1..3, fig2..fig18, all)")
+	duration := flag.Duration("duration", 400*time.Millisecond, "simulated duration per run")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	dur := sim.Time(duration.Nanoseconds())
+	id := strings.ToLower(strings.TrimSpace(*exp))
+	// figNNa / figNNb select the same experiment as figNN.
+	id = strings.TrimSuffix(strings.TrimSuffix(id, "a"), "b")
+
+	if err := run(id, dur, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "vipfig:", err)
+		os.Exit(1)
+	}
+}
+
+func run(id string, dur sim.Time, seed uint64) error {
+	out := os.Stdout
+	var sweep *experiments.ModeSweep
+	needSweep := func() error {
+		if sweep != nil {
+			return nil
+		}
+		fmt.Fprintln(out, "(running the 5-design x 15-scenario sweep...)")
+		var err error
+		sweep, err = experiments.RunModeSweep(dur)
+		return err
+	}
+
+	sections := []string{id}
+	if id == "all" {
+		sections = []string{"table1", "table2", "table3", "fig2", "fig3", "fig5",
+			"fig6", "fig14", "fig15", "fig16", "fig17", "fig18"}
+	}
+	if id == "ablation" {
+		sections = []string{"sched", "burst", "lanes", "patience", "ctxcost", "subframe"}
+	}
+	for i, sec := range sections {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		switch sec {
+		case "table1":
+			experiments.WriteTable1(out)
+		case "table2":
+			experiments.WriteTable2(out)
+		case "table3":
+			experiments.WriteTable3(out)
+		case "fig2":
+			f, err := experiments.RunFig02(dur)
+			if err != nil {
+				return err
+			}
+			f.Write(out)
+		case "fig3":
+			f, err := experiments.RunFig03(dur)
+			if err != nil {
+				return err
+			}
+			f.Write(out)
+		case "fig5":
+			experiments.RunFig05(0, seed).Write(out)
+		case "fig6":
+			experiments.RunFig06(0, seed).Write(out)
+		case "fig14":
+			f, err := experiments.RunFig14(dur)
+			if err != nil {
+				return err
+			}
+			f.Write(out)
+		case "fig15":
+			if err := needSweep(); err != nil {
+				return err
+			}
+			sweep.WriteFig15(out)
+		case "fig16":
+			if err := needSweep(); err != nil {
+				return err
+			}
+			sweep.WriteFig16(out)
+		case "fig17":
+			if err := needSweep(); err != nil {
+				return err
+			}
+			sweep.WriteFig17(out)
+		case "fig18":
+			if err := needSweep(); err != nil {
+				return err
+			}
+			sweep.WriteFig18(out)
+		case "sched":
+			st, err := experiments.RunSchedulerStudy("W1", dur)
+			if err != nil {
+				return err
+			}
+			st.Write(out)
+		case "burst":
+			sw, err := experiments.RunBurstSweep(dur)
+			if err != nil {
+				return err
+			}
+			sw.Write(out)
+		case "lanes":
+			sw, err := experiments.RunLaneSweep(dur)
+			if err != nil {
+				return err
+			}
+			sw.Write(out)
+		case "patience":
+			sw, err := experiments.RunPatienceSweep(dur)
+			if err != nil {
+				return err
+			}
+			sw.Write(out)
+		case "ctxcost":
+			sw, err := experiments.RunCtxCostSweep(dur)
+			if err != nil {
+				return err
+			}
+			sw.Write(out)
+		case "subframe":
+			sw, err := experiments.RunSubframeSweep(dur)
+			if err != nil {
+				return err
+			}
+			sw.Write(out)
+		default:
+			return fmt.Errorf("unknown experiment %q", sec)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+// Command vipsim runs one simulation scenario and prints its report.
+//
+// Usage:
+//
+//	vipsim -system vip -apps A5,A5 -duration 400ms
+//	vipsim -system baseline -apps W4
+//	vipsim -compare -apps W1          # all five designs side by side
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/vipsim/vip/vip"
+)
+
+func parseSystem(s string) (vip.System, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "base":
+		return vip.SystemBaseline, nil
+	case "frameburst", "fb", "burst":
+		return vip.SystemFrameBurst, nil
+	case "iptoip", "ip2ip", "chain":
+		return vip.SystemIPToIP, nil
+	case "iptoipburst", "ip2ip+fb", "chainburst":
+		return vip.SystemIPToIPBurst, nil
+	case "vip":
+		return vip.SystemVIP, nil
+	}
+	return 0, fmt.Errorf("unknown system %q (baseline|frameburst|iptoip|iptoipburst|vip)", s)
+}
+
+func main() {
+	system := flag.String("system", "vip", "system design: baseline|frameburst|iptoip|iptoipburst|vip")
+	apps := flag.String("apps", "A5", "comma-separated app ids (A1..A7) or workload ids (W1..W8)")
+	duration := flag.Duration("duration", 400*time.Millisecond, "simulated duration")
+	burst := flag.Int("burst", 0, "frame-burst size override (0 = default 5)")
+	seed := flag.Uint64("seed", 0, "random seed override")
+	ideal := flag.Bool("ideal-memory", false, "use a zero-latency memory")
+	lane := flag.Int("lane-buffer", 0, "per-lane flow buffer bytes override")
+	compare := flag.Bool("compare", false, "run all five designs and print one line each")
+	flag.Parse()
+
+	ids := strings.Split(*apps, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	base := vip.Scenario{
+		Apps:            ids,
+		Duration:        vip.Duration(duration.Nanoseconds()),
+		BurstSize:       *burst,
+		Seed:            *seed,
+		IdealMemory:     *ideal,
+		LaneBufferBytes: *lane,
+	}
+
+	if *compare {
+		fmt.Printf("%-14s%14s%12s%12s%12s%10s\n",
+			"system", "energy/frame", "flow(ms)", "viol%", "intr/100ms", "frames")
+		for _, s := range vip.Systems() {
+			sc := base
+			sc.System = s
+			res, err := vip.Simulate(sc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vipsim:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-14v%12.3fmJ%12.2f%12.1f%12.1f%10d\n",
+				s, res.EnergyPerFrameJ*1e3, res.AvgFlowTimeMS,
+				res.ViolationRate*100, res.InterruptsPer100ms, res.DisplayedFrames)
+		}
+		return
+	}
+
+	sys, err := parseSystem(*system)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vipsim:", err)
+		os.Exit(2)
+	}
+	sc := base
+	sc.System = sys
+	res, err := vip.Simulate(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vipsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Summary())
+}

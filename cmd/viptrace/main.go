@@ -1,0 +1,119 @@
+// Command viptrace runs a short scenario with timeline tracing enabled
+// and exports what every IP, CPU core and flow was doing, when — as a
+// Chrome/Perfetto trace (-o trace.json) and an ASCII timeline on stdout.
+//
+// Usage:
+//
+//	viptrace -system vip -apps A5,A5 -duration 60ms -o trace.json
+//	viptrace -system iptoipburst -apps W1       # watch the HOL blocking
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/trace"
+	"github.com/vipsim/vip/internal/workload"
+)
+
+func parseMode(s string) (platform.Mode, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "base":
+		return platform.Baseline, nil
+	case "frameburst", "fb", "burst":
+		return platform.FrameBurst, nil
+	case "iptoip", "ip2ip", "chain":
+		return platform.IPToIP, nil
+	case "iptoipburst", "ip2ip+fb", "chainburst":
+		return platform.IPToIPBurst, nil
+	case "vip":
+		return platform.VIP, nil
+	}
+	return 0, fmt.Errorf("unknown system %q", s)
+}
+
+func main() {
+	system := flag.String("system", "vip", "system design to trace")
+	apps := flag.String("apps", "A5", "comma-separated app ids (A1..A7) or workload ids (W1..W8)")
+	duration := flag.Duration("duration", 60*time.Millisecond, "simulated duration (keep short: traces are dense)")
+	out := flag.String("o", "", "write a Chrome/Perfetto trace JSON to this file")
+	flag.Parse()
+
+	mode, err := parseMode(*system)
+	if err != nil {
+		fatal(err)
+	}
+	var specs []app.Spec
+	for _, id := range strings.Split(*apps, ",") {
+		id = strings.TrimSpace(id)
+		if strings.HasPrefix(id, "W") {
+			w, err := workload.ByID(id)
+			if err != nil {
+				fatal(err)
+			}
+			ws, err := w.Resolve()
+			if err != nil {
+				fatal(err)
+			}
+			specs = append(specs, ws...)
+			continue
+		}
+		a, err := workload.App(id)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, a)
+	}
+
+	rec := trace.NewRecorder()
+	pcfg := platform.DefaultConfig(mode)
+	pcfg.Tracer = rec
+	p := platform.New(pcfg)
+	opts := core.DefaultOptions(mode)
+	opts.Duration = sim.Time(duration.Nanoseconds())
+	r, err := core.NewRunner(p, specs, opts)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(rec.Summary())
+	fmt.Println()
+	per := opts.Duration / 160
+	if per < sim.Microsecond {
+		per = sim.Microsecond
+	}
+	rec.WriteTimeline(os.Stdout, 0, opts.Duration, per)
+	fmt.Println()
+	fmt.Printf("(c=compute, m=memstall, f=flowstall; flows: frame spans)\n\n")
+	fmt.Print(rep)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d events) — open in ui.perfetto.dev\n", *out, rec.Len())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "viptrace:", err)
+	os.Exit(1)
+}

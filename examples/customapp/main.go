@@ -1,0 +1,60 @@
+// Customapp: build an application that is not in the Table 1 catalog —
+// a dashcam-style app that simultaneously records two camera streams and
+// previews one — and size its flow buffers, reproducing the §5.5
+// methodology (Figure 14) on a user-defined workload through the public
+// builder API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/vipsim/vip/vip"
+)
+
+func main() {
+	dashcam, err := vip.NewApp("DX1", "Dashcam", "encode").
+		GOP(10).
+		Flow("preview", 60, 0).
+		Stage(vip.Camera, vip.FrameCamera).
+		Stage(vip.ImageProc, vip.FrameCamera).
+		Stage(vip.Display, 0).
+		CPUWork(20*1000, 15000). // 20us of app logic per frame
+		Display().
+		Done().
+		Flow("record-front", 30, 0).
+		Stage(vip.Camera, vip.FrameCamera).
+		Stage(vip.VideoEncoder, vip.BitstreamCam).
+		Stage(vip.Storage, 0).
+		CPUWork(20*1000, 15000).
+		Done().
+		Flow("record-audio", 60, 0).
+		Stage(vip.Microphone, vip.FrameAudio).
+		Stage(vip.AudioEncoder, 4096).
+		Stage(vip.Storage, 0).
+		Done().
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Custom dashcam app: CAM-IMG-DC preview + CAM-VE-MMC + MIC-AE-MMC")
+	fmt.Println()
+	fmt.Printf("%-10s%14s%12s%12s\n", "buffer", "energy/frame", "flow (ms)", "viol%")
+	for _, lane := range []int{512, 1024, 2048, 4096, 8192} {
+		res, err := vip.SimulateApps(vip.Scenario{
+			System:          vip.SystemVIP,
+			Duration:        400 * vip.Millisecond,
+			LaneBufferBytes: lane,
+		}, dashcam)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d%11.3f mJ%12.2f%12.1f\n",
+			lane, res.EnergyPerFrameJ*1e3, res.AvgFlowTimeMS, res.ViolationRate*100)
+	}
+	fmt.Println()
+	fmt.Println("The paper picks 2KB per lane (32 cache lines): the smallest buffer")
+	fmt.Println("that no longer stretches the flow time (Figure 14a) at negligible")
+	fmt.Println("area/energy cost (Figure 14b).")
+}

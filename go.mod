@@ -1,0 +1,3 @@
+module github.com/vipsim/vip
+
+go 1.23

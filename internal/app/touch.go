@@ -1,0 +1,131 @@
+package app
+
+import (
+	"math"
+
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// The paper instruments two open-source games (Flappy Bird, Fruit Ninja)
+// with 20 users to characterise touch behaviour, and uses the resulting
+// distributions to size frame bursts for gaming apps (§4.3, Figures 5-6).
+// We cannot rerun the user study, so these models sample from equivalent
+// seeded distributions fitted to the published summary statistics:
+//
+//   - taps are never closer than ~0.15 s, and >60% of gaps exceed 0.5 s
+//     (Figure 5);
+//   - ~40% of frames fall inside flicks (unburstable) and ~60% between
+//     flicks (burstable), with gap lengths heavy-tailed out past 3 s
+//     (Figure 6).
+
+// TapModel generates inter-tap intervals for a tap-driven game
+// (Flappy Bird). Gaps are MinGap plus a log-normal tail.
+type TapModel struct {
+	MinGap sim.Time
+	Mu     float64 // log-normal location of the tail (seconds)
+	Sigma  float64 // log-normal scale
+	rng    *sim.RNG
+}
+
+// NewTapModel returns the model fitted to Figure 5, seeded for
+// reproducibility.
+func NewTapModel(seed uint64) *TapModel {
+	return &TapModel{
+		MinGap: 150 * sim.Millisecond,
+		Mu:     math.Log(0.40),
+		Sigma:  0.60,
+		rng:    sim.NewRNG(seed),
+	}
+}
+
+// NextGap samples the time to the next tap.
+func (m *TapModel) NextGap() sim.Time {
+	tail := m.rng.LogNormal(m.Mu, m.Sigma)
+	return m.MinGap + sim.Time(tail*float64(sim.Second))
+}
+
+// FlickModel generates alternating flick/idle phases for a swipe-driven
+// game (Fruit Ninja). During a flick the frame-burst mechanism is
+// disabled; between flicks frames are burstable.
+type FlickModel struct {
+	FlickMu, FlickSigma float64 // log-normal flick duration (seconds)
+	GapMu, GapSigma     float64 // log-normal inter-flick gap (seconds)
+	rng                 *sim.RNG
+}
+
+// NewFlickModel returns the model fitted to Figure 6, seeded for
+// reproducibility.
+func NewFlickModel(seed uint64) *FlickModel {
+	return &FlickModel{
+		FlickMu:    math.Log(0.45),
+		FlickSigma: 0.35,
+		GapMu:      math.Log(0.55),
+		GapSigma:   0.90,
+		rng:        sim.NewRNG(seed),
+	}
+}
+
+// NextPhase samples one flick duration and the idle gap that follows it.
+func (m *FlickModel) NextPhase() (flick, gap sim.Time) {
+	f := m.rng.LogNormal(m.FlickMu, m.FlickSigma)
+	g := m.rng.LogNormal(m.GapMu, m.GapSigma)
+	return sim.Time(f * float64(sim.Second)), sim.Time(g * float64(sim.Second))
+}
+
+// TapHistogram samples n gaps and buckets them into Figure 5's bins:
+// bin 0 is "<0.15 s", then 0.05 s-wide bins up to maxSec, with the last
+// bin catching everything beyond. It returns the fraction of taps per bin.
+func (m *TapModel) TapHistogram(n int, maxSec float64) []float64 {
+	binW := 0.05
+	bins := int(maxSec/binW) + 1
+	counts := make([]float64, bins)
+	for i := 0; i < n; i++ {
+		g := m.NextGap().Seconds()
+		idx := 0
+		if g >= 0.15 {
+			idx = int(g/binW) - 2 // 0.15..0.20 -> bin 1
+			if idx < 1 {
+				idx = 1
+			}
+			if idx >= bins {
+				idx = bins - 1
+			}
+		}
+		counts[idx]++
+	}
+	for i := range counts {
+		counts[i] /= float64(n)
+	}
+	return counts
+}
+
+// BurstabilitySample simulates dur of gameplay at the given FPS and
+// reports (burstableFrames, totalFrames, burstSizes) where burstSizes is
+// the maximum burst length (in frames) of each inter-flick gap —
+// the data behind Figures 6a and 6b.
+func (m *FlickModel) BurstabilitySample(dur sim.Time, fps float64) (burstable, total int, burstSizes []int) {
+	framePeriod := sim.FPS(fps)
+	var t sim.Time
+	for t < dur {
+		flick, gap := m.NextPhase()
+		if flick > dur-t {
+			flick = dur - t
+		}
+		total += int(flick / framePeriod)
+		t += flick
+		if t >= dur {
+			break
+		}
+		if gap > dur-t {
+			gap = dur - t
+		}
+		frames := int(gap / framePeriod)
+		total += frames
+		burstable += frames
+		if frames > 0 {
+			burstSizes = append(burstSizes, frames)
+		}
+		t += gap
+	}
+	return burstable, total, burstSizes
+}

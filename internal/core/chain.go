@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/platform"
+)
+
+// HeaderPacket is the chain context descriptor of Figure 12. It travels
+// from IP to IP ahead of a frame burst and carries, per IP, the request
+// context (pixel format, codec parameters, frame geometry) that the
+// virtualized IP stores in its lane registers.
+type HeaderPacket struct {
+	IPs         []ipcore.Kind
+	FrameSizeKB int
+	FrameRate   int
+	BurstSize   int
+	SrcAddr     uint32
+	DstAddr     uint32
+}
+
+// perIPContextBytes is the per-IP frame context (~1 KB per Figure 12).
+const perIPContextBytes = 1 << 10
+
+// fixedHeaderBytes covers the non-context fields of Figure 12:
+// 32b IP list + 16b frame size + 4b rate + 4b burst + 2x32b addresses,
+// rounded up to a bus beat.
+const fixedHeaderBytes = 16
+
+// Bytes reports the header packet's wire size: the paper estimates ~1 KB
+// of context per IP, so a 4-IP flow carries ~4 KB (§5.4).
+func (h HeaderPacket) Bytes() int {
+	return fixedHeaderBytes + len(h.IPs)*perIPContextBytes
+}
+
+// Chain is an instantiated virtual IP chain: the object the open() API of
+// Figures 9-11 returns. It pins one lane at every IP of the flow so the
+// hardware can keep a per-flow context (VIP), or lane 0 everywhere on
+// non-virtualized platforms.
+type Chain struct {
+	ID     int
+	FlowID int
+	Kinds  []ipcore.Kind
+	Lanes  []int
+	Header HeaderPacket
+}
+
+// chainManager assigns lanes and builds chains per flow.
+type chainManager struct {
+	p      *platform.Platform
+	nextID int
+	// laneUse counts flows bound per (kind, lane) so distinct flows get
+	// distinct lanes while the hardware has capacity.
+	laneUse map[ipcore.Kind][]int
+}
+
+func newChainManager(p *platform.Platform) *chainManager {
+	return &chainManager{p: p, laneUse: make(map[ipcore.Kind][]int)}
+}
+
+// open instantiates a chain for a flow, mirroring the API extension the
+// paper adds to libstagefright/OpenGL: the driver walks the IP list,
+// reserves a buffer lane at each hop, and hands back a chain identifier
+// the app uses for every subsequent frame-burst call.
+func (m *chainManager) open(flowID int, f *app.Flow) (*Chain, error) {
+	kinds := f.Chain()
+	c := &Chain{
+		ID:     m.nextID,
+		FlowID: flowID,
+		Kinds:  kinds,
+		Lanes:  make([]int, len(kinds)),
+		Header: HeaderPacket{
+			IPs:         kinds,
+			FrameSizeKB: (maxStageBytes(f) + 1023) / 1024,
+			FrameRate:   int(f.FPS),
+			BurstSize:   1,
+		},
+	}
+	m.nextID++
+	for i, k := range kinds {
+		c.Lanes[i] = m.assignLane(k)
+	}
+	return c, nil
+}
+
+// assignLane picks the least-loaded lane of the IP; on single-lane
+// hardware every flow shares lane 0.
+func (m *chainManager) assignLane(k ipcore.Kind) int {
+	core := m.p.IP(k)
+	use, ok := m.laneUse[k]
+	if !ok {
+		use = make([]int, core.Lanes())
+		m.laneUse[k] = use
+	}
+	best := 0
+	for i := 1; i < len(use); i++ {
+		if use[i] < use[best] {
+			best = i
+		}
+	}
+	use[best]++
+	return best
+}
+
+// maxStageBytes returns the largest frame any stage of the flow moves.
+func maxStageBytes(f *app.Flow) int {
+	max := f.InBytes
+	for _, s := range f.Stages {
+		if s.OutBytes > max {
+			max = s.OutBytes
+		}
+	}
+	return max
+}
+
+// sendHeader models the header packet hop-by-hop delivery across the SA
+// ahead of a burst (§5.4: negligible but not free).
+func (m *chainManager) sendHeader(c *Chain, burst int) {
+	h := c.Header
+	h.BurstSize = burst
+	m.p.SA.Transfer(h.Bytes(), nil)
+}
+
+// String renders the chain like Table 1, e.g. "VD - DC".
+func (c *Chain) String() string {
+	s := ""
+	for i, k := range c.Kinds {
+		if i > 0 {
+			s += " - "
+		}
+		s += k.String()
+	}
+	return fmt.Sprintf("chain%d[%s]", c.ID, s)
+}

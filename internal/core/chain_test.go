@@ -1,0 +1,154 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/workload"
+)
+
+func testVideoFlow() *app.Flow {
+	a, _ := workload.App("A5")
+	return &a.Flows[0]
+}
+
+func TestHeaderPacketSize(t *testing.T) {
+	// §5.4: ~1KB of context per IP, ~4KB for the longest (4-IP) flow.
+	h := HeaderPacket{IPs: []ipcore.Kind{ipcore.CAM, ipcore.VE, ipcore.NW}}
+	if got := h.Bytes(); got < 3<<10 || got > 3<<10+64 {
+		t.Errorf("3-IP header = %d bytes, want ~3KB", got)
+	}
+	h4 := HeaderPacket{IPs: []ipcore.Kind{ipcore.CAM, ipcore.IMG, ipcore.VE, ipcore.MMC}}
+	if got := h4.Bytes(); got < 4<<10 || got > 4<<10+64 {
+		t.Errorf("4-IP header = %d bytes, paper expects ~4KB", got)
+	}
+}
+
+func TestChainOpenAssignsDistinctLanesUnderVIP(t *testing.T) {
+	p := platform.New(platform.DefaultConfig(platform.VIP))
+	cm := newChainManager(p)
+	f := testVideoFlow()
+	c1, err := cm.open(0, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cm.open(1, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c1.Lanes) != len(f.Stages) {
+		t.Fatalf("lanes = %v", c1.Lanes)
+	}
+	for i := range c1.Lanes {
+		if c1.Lanes[i] == c2.Lanes[i] {
+			t.Errorf("stage %d: both flows share lane %d despite free lanes", i, c1.Lanes[i])
+		}
+	}
+	if c1.ID == c2.ID {
+		t.Error("chain ids must be unique")
+	}
+}
+
+func TestChainOpenSharesLaneZeroOnBaseline(t *testing.T) {
+	p := platform.New(platform.DefaultConfig(platform.Baseline))
+	cm := newChainManager(p)
+	f := testVideoFlow()
+	c1, _ := cm.open(0, f)
+	c2, _ := cm.open(1, f)
+	for i := range c1.Lanes {
+		if c1.Lanes[i] != 0 || c2.Lanes[i] != 0 {
+			t.Error("single-lane hardware always uses lane 0")
+		}
+	}
+}
+
+func TestChainLaneWrapsWhenOverSubscribed(t *testing.T) {
+	p := platform.New(platform.DefaultConfig(platform.VIP))
+	cm := newChainManager(p)
+	f := testVideoFlow()
+	lanes := p.IP(ipcore.VD).Lanes()
+	seen := map[int]int{}
+	for i := 0; i < lanes+2; i++ {
+		c, err := cm.open(i, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[c.Lanes[0]]++
+	}
+	// All lanes used before any is reused.
+	for lane, n := range seen {
+		if n == 0 {
+			t.Errorf("lane %d never used", lane)
+		}
+	}
+	if len(seen) != lanes {
+		t.Errorf("used %d distinct lanes, want %d", len(seen), lanes)
+	}
+}
+
+func TestChainString(t *testing.T) {
+	p := platform.New(platform.DefaultConfig(platform.VIP))
+	cm := newChainManager(p)
+	c, _ := cm.open(0, testVideoFlow())
+	s := c.String()
+	if !strings.Contains(s, "VD") || !strings.Contains(s, "DC") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEffectiveBurst(t *testing.T) {
+	opts := DefaultOptions(platform.VIP)
+	opts.BurstSize = 5
+	play := app.Spec{Class: app.ClassPlayback, GOP: 16}
+	if got := opts.effectiveBurst(&play, false); got != 5 {
+		t.Errorf("playback burst = %d, want 5", got)
+	}
+	shortGOP := app.Spec{Class: app.ClassPlayback, GOP: 3}
+	if got := opts.effectiveBurst(&shortGOP, false); got != 3 {
+		t.Errorf("GOP-bounded burst = %d, want 3", got)
+	}
+	game := app.Spec{Class: app.ClassGame}
+	if got := opts.effectiveBurst(&game, true); got != 1 {
+		t.Errorf("flicking game burst = %d, want 1", got)
+	}
+	opts.BurstSize = 30
+	opts.GameBurstCap = 10
+	if got := opts.effectiveBurst(&game, false); got != 10 {
+		t.Errorf("game burst cap = %d, want 10 (§4.3)", got)
+	}
+}
+
+func TestDriverCostsDefaultsSane(t *testing.T) {
+	c := DefaultDriverCosts()
+	if c.SetupPerIP <= 0 || c.ISR <= 0 || c.Handoff <= 0 {
+		t.Error("driver costs must be positive")
+	}
+	if c.ISR >= c.Handoff {
+		t.Error("the software hand-off dominates the raw ISR")
+	}
+	if instrFor(sim.Microsecond) != 1000 {
+		t.Errorf("instrFor(1us) = %d, want 1000", instrFor(sim.Microsecond))
+	}
+	if instrFor(-5) != 0 {
+		t.Error("negative durations carry no instructions")
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	for i, mut := range []func(*Options){
+		func(o *Options) { o.Duration = 0 },
+		func(o *Options) { o.BurstSize = 0 },
+		func(o *Options) { o.GameBurstCap = 0 },
+		func(o *Options) { o.MaxBacklog = 0 },
+	} {
+		o := DefaultOptions(platform.VIP)
+		mut(&o)
+		if err := o.validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

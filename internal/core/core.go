@@ -1,0 +1,161 @@
+// Package core implements the paper's contribution: the software/hardware
+// orchestration of IP flows under the five system designs of §6.2 —
+// Baseline, Frame Burst, IP-to-IP, IP-to-IP with Frame Burst, and VIP —
+// on top of the platform substrate.
+//
+// The package plays the role of the Android driver stack plus the
+// proposed VIP extensions:
+//
+//   - chain instantiation (the open() call of Figures 9-11) with header
+//     packets (Figure 12) carrying per-IP contexts;
+//   - frame-burst scheduling (Schedule_FrameBurst), including GOP-derived
+//     burst sizes for codec apps and touch-aware hybrid bursting for
+//     games (§4.3);
+//   - per-frame CPU driver work, interrupt service, and the DMA staging
+//     copies that memory-mediated designs pay on every hop;
+//   - per-flow QoS tracking (deadlines, violations, drops, flow time).
+package core
+
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// DriverCosts parameterises the CPU-side cost model. Durations are per
+// invocation; instruction counts scale with duration at roughly one
+// instruction per nanosecond on the in-order core.
+type DriverCosts struct {
+	// SetupPerIP is the per-frame, per-IP driver invocation in
+	// memory-mediated designs (request buffers, map pointers, program
+	// the IP).
+	SetupPerIP sim.Time
+	// ISR is one interrupt service routine (top + bottom half).
+	ISR sim.Time
+	// ChainSetupBase/PerHop is the per-frame super-request setup cost
+	// when the flow is chained (one invocation regardless of length).
+	ChainSetupBase   sim.Time
+	ChainSetupPerHop sim.Time
+	// BurstSetupBase/PerFrame is the burst descriptor build cost.
+	BurstSetupBase     sim.Time
+	BurstSetupPerFrame sim.Time
+	// BurstResiduePerFrame is driver work that stays per-frame even in
+	// burst mode (buffer-queue bookkeeping).
+	BurstResiduePerFrame sim.Time
+	// ChainOpen is the one-time open() cost instantiating a chain.
+	ChainOpen sim.Time
+	// TouchInput is the input-pipeline cost of one tap/flick event.
+	TouchInput sim.Time
+	// Handoff is the software latency of bouncing a frame between
+	// stages in the baseline: interrupt bottom half, Binder callback,
+	// app thread wake-up, BufferQueue exchange. It is latency (the
+	// frame waits), not CPU-active time, and it is exactly what frame
+	// bursts and chaining eliminate.
+	Handoff sim.Time
+}
+
+// DefaultDriverCosts returns the calibrated cost model.
+func DefaultDriverCosts() DriverCosts {
+	return DriverCosts{
+		SetupPerIP:           30 * sim.Microsecond,
+		ISR:                  12 * sim.Microsecond,
+		ChainSetupBase:       30 * sim.Microsecond,
+		ChainSetupPerHop:     8 * sim.Microsecond,
+		BurstSetupBase:       20 * sim.Microsecond,
+		BurstSetupPerFrame:   10 * sim.Microsecond,
+		BurstResiduePerFrame: 20 * sim.Microsecond,
+		ChainOpen:            100 * sim.Microsecond,
+		TouchInput:           50 * sim.Microsecond,
+		Handoff:              1200 * sim.Microsecond,
+	}
+}
+
+// instrFor converts a driver duration into an instruction estimate.
+func instrFor(d sim.Time) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d) // ~1 instruction per ns on the 1 GHz in-order core
+}
+
+// Options configures a Runner.
+type Options struct {
+	// Mode is the system design under test.
+	Mode platform.Mode
+	// Duration is the simulated run length.
+	Duration sim.Time
+	// BurstSize is the nominal frame-burst size (5 in the paper's
+	// examples); GOP structure and game rules may shrink it per flow.
+	BurstSize int
+	// GameBurstCap bounds game bursts for responsiveness (<10 frames
+	// per §4.3).
+	GameBurstCap int
+	// MaxBacklog is the per-flow limit of in-flight frames before the
+	// driver drops new ones (the Nexus 7 VD queue depth of §2.2 is 7).
+	MaxBacklog int
+	// Seed drives the touch models and any other randomness.
+	Seed uint64
+	// Costs is the CPU driver cost model.
+	Costs DriverCosts
+	// IFrameFactor is the compute-cost multiplier of the independent
+	// frame that opens each GOP (I-frames decode/encode slower).
+	IFrameFactor float64
+	// ComputeNoise is the +/- fraction of per-frame compute jitter
+	// (scene complexity).
+	ComputeNoise float64
+}
+
+// DefaultOptions returns options matching the paper's evaluation setup.
+func DefaultOptions(mode platform.Mode) Options {
+	return Options{
+		Mode:         mode,
+		Duration:     sim.Second / 2,
+		BurstSize:    5,
+		GameBurstCap: 10,
+		MaxBacklog:   7,
+		Seed:         1,
+		Costs:        DefaultDriverCosts(),
+		IFrameFactor: 1.8,
+		ComputeNoise: 0.15,
+	}
+}
+
+func (o Options) validate() error {
+	if o.Duration <= 0 {
+		return fmt.Errorf("core: duration must be positive")
+	}
+	if o.BurstSize <= 0 {
+		return fmt.Errorf("core: burst size must be positive")
+	}
+	if o.GameBurstCap <= 0 {
+		return fmt.Errorf("core: game burst cap must be positive")
+	}
+	if o.MaxBacklog <= 0 {
+		return fmt.Errorf("core: max backlog must be positive")
+	}
+	return nil
+}
+
+// effectiveBurst computes the burst size a flow of the given app uses in
+// burst-capable modes: GOP-bounded for codec apps, capped for games, 1
+// while the user is flicking (§4.3).
+func (o Options) effectiveBurst(spec *app.Spec, flicking bool) int {
+	b := o.BurstSize
+	if spec.GOP > 0 && spec.GOP < b {
+		b = spec.GOP
+	}
+	if spec.Class == app.ClassGame {
+		if flicking {
+			return 1
+		}
+		if b > o.GameBurstCap {
+			b = o.GameBurstCap
+		}
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}

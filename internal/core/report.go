@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/vipsim/vip/internal/cpu"
+	"github.com/vipsim/vip/internal/dram"
+	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// FlowReport summarises one flow's QoS outcome.
+type FlowReport struct {
+	App      string
+	Flow     string
+	Display  bool
+	FPS      float64
+	Frames   int
+	Complete int
+	Dropped  int
+	// Violations counts deadline misses + drops + expired frames.
+	Violations    int
+	ViolationRate float64
+	AvgFlowTime   sim.Time
+	MaxFlowTime   sim.Time
+	P95FlowMS     float64
+	P99FlowMS     float64
+	AchievedFPS   float64
+}
+
+// IPReport summarises one IP core's activity.
+type IPReport struct {
+	Kind  ipcore.Kind
+	Stats ipcore.Stats
+}
+
+// Report is the full outcome of one Runner.Run.
+type Report struct {
+	Mode     platform.Mode
+	Duration sim.Time
+
+	// Energy.
+	Energy          *energy.Account
+	TotalEnergyJ    float64
+	CPUEnergyJ      float64
+	DRAMEnergyJ     float64
+	IPEnergyJ       float64
+	EnergyPerFrameJ float64 // total energy / displayed frames
+
+	// CPU.
+	CPU                cpu.Stats
+	CPUActiveMSPerSec  float64
+	InterruptsPer100ms float64
+
+	// Memory.
+	Mem         dram.Stats
+	AvgBWBps    float64
+	BWHistogram []int   // 10 bins of peak-fraction residency
+	TimeAbove80 float64 // fraction of windows above 80% of peak BW
+
+	// IPs in kind order.
+	IPs []IPReport
+
+	// Flows.
+	Flows           []FlowReport
+	DisplayedFrames int
+	OfferedFrames   int
+
+	// Aggregates over display flows.
+	AvgFlowTime      sim.Time
+	ViolationRate    float64
+	AchievedFPSTotal float64
+
+	// Game bursting.
+	Rollbacks int
+}
+
+// buildReport assembles the report after a run.
+func (r *Runner) buildReport() *Report {
+	rep := &Report{
+		Mode:     r.p.Mode(),
+		Duration: r.opts.Duration,
+		Energy:   r.p.Acct,
+		CPU:      r.p.CPU.Stats(),
+		Mem:      r.p.Mem.Stats(),
+
+		Rollbacks: r.rollbacks,
+	}
+	rep.TotalEnergyJ = r.p.Acct.Total()
+	rep.CPUEnergyJ = r.p.Acct.TotalPrefix("cpu.")
+	rep.DRAMEnergyJ = r.p.Acct.TotalPrefix("dram.")
+	rep.IPEnergyJ = r.p.Acct.TotalPrefix("ip.")
+	secs := r.opts.Duration.Seconds()
+	if secs > 0 {
+		rep.CPUActiveMSPerSec = rep.CPU.ActiveTime.Milliseconds() / secs
+		rep.InterruptsPer100ms = float64(rep.CPU.Interrupts) / secs / 10
+	}
+	rep.AvgBWBps = r.p.Mem.AvgBandwidthBPS()
+	rep.BWHistogram = r.p.Mem.BandwidthHistogram(10)
+	rep.TimeAbove80 = r.p.Mem.TimeAboveUtilization(0.8)
+
+	for _, k := range r.p.Kinds() {
+		rep.IPs = append(rep.IPs, IPReport{Kind: k, Stats: r.p.IP(k).Stats()})
+	}
+
+	var flowSum sim.Time
+	var flowN int
+	var violations, offered int
+	for _, fs := range r.flows {
+		q := fs.qos
+		fr := FlowReport{
+			App:           fs.aspec.ID,
+			Flow:          fs.spec.Name,
+			Display:       fs.spec.Display,
+			FPS:           fs.spec.FPS,
+			Frames:        q.Frames(),
+			Complete:      q.CompletedFrames(),
+			Dropped:       q.DroppedFrames(),
+			Violations:    q.Violations(),
+			ViolationRate: q.ViolationRate(),
+			AvgFlowTime:   q.AvgFlowTime(),
+			MaxFlowTime:   q.MaxFlowTime(),
+			P95FlowMS:     q.P95FlowTimeMS(),
+			P99FlowMS:     q.P99FlowTimeMS(),
+			AchievedFPS:   q.AchievedFPS(r.opts.Duration),
+		}
+		rep.Flows = append(rep.Flows, fr)
+		if fs.spec.Display {
+			rep.DisplayedFrames += fr.Complete
+			rep.AchievedFPSTotal += fr.AchievedFPS
+			flowSum += q.AvgFlowTime() * sim.Time(fr.Complete)
+			flowN += fr.Complete
+			violations += fr.Violations
+			offered += fr.Frames
+		}
+	}
+	rep.OfferedFrames = offered
+	if flowN > 0 {
+		rep.AvgFlowTime = flowSum / sim.Time(flowN)
+	}
+	if offered > 0 {
+		rep.ViolationRate = float64(violations) / float64(offered)
+	}
+	if rep.DisplayedFrames > 0 {
+		rep.EnergyPerFrameJ = rep.TotalEnergyJ / float64(rep.DisplayedFrames)
+	}
+	sort.Slice(rep.Flows, func(i, j int) bool {
+		if rep.Flows[i].App != rep.Flows[j].App {
+			return rep.Flows[i].App < rep.Flows[j].App
+		}
+		return rep.Flows[i].Flow < rep.Flows[j].Flow
+	})
+	return rep
+}
+
+// IPStat returns the stats of one IP kind (zero value if absent).
+func (rep *Report) IPStat(k ipcore.Kind) ipcore.Stats {
+	for _, ip := range rep.IPs {
+		if ip.Kind == k {
+			return ip.Stats
+		}
+	}
+	return ipcore.Stats{}
+}
+
+// String renders a human-readable summary.
+func (rep *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mode=%v dur=%v energy=%.1fmJ (cpu %.1f, dram %.1f, ip %.1f) e/frame=%.3fmJ\n",
+		rep.Mode, rep.Duration, rep.TotalEnergyJ*1e3, rep.CPUEnergyJ*1e3, rep.DRAMEnergyJ*1e3,
+		rep.IPEnergyJ*1e3, rep.EnergyPerFrameJ*1e3)
+	fmt.Fprintf(&b, "cpu: active %.1f ms/s, %d interrupts (%.1f/100ms), %d instr\n",
+		rep.CPUActiveMSPerSec, rep.CPU.Interrupts, rep.InterruptsPer100ms, rep.CPU.Instructions)
+	fmt.Fprintf(&b, "mem: %.2f GB/s avg, rowhit %.0f%%, >80%%BW %.0f%% of time\n",
+		rep.AvgBWBps/1e9, rep.Mem.RowHitRate()*100, rep.TimeAbove80*100)
+	fmt.Fprintf(&b, "display: %d frames, avg flow %v, violations %.1f%%\n",
+		rep.DisplayedFrames, rep.AvgFlowTime, rep.ViolationRate*100)
+	for _, f := range rep.Flows {
+		mark := " "
+		if f.Display {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s %s/%s: %d/%d frames, %d viol, flow %v (max %v)\n",
+			mark, f.App, f.Flow, f.Complete, f.Frames, f.Violations, f.AvgFlowTime, f.MaxFlowTime)
+	}
+	return b.String()
+}

@@ -1,0 +1,559 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/cpu"
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Runner executes a set of applications on a platform under one system
+// design and collects the paper's metrics.
+type Runner struct {
+	p    *platform.Platform
+	opts Options
+	apps []app.Spec
+	cm   *chainManager
+
+	flows     []*flowState
+	rollbacks int
+	ran       bool
+}
+
+// flowState is the runtime of one application flow.
+type flowState struct {
+	id     int
+	appIdx int
+	spec   *app.Flow
+	aspec  *app.Spec
+	qos    *app.QoS
+	chain  *Chain
+	period sim.Time
+	phase  sim.Time // release-time offset of frame 0
+
+	// DRAM buffer rings.
+	ring     int
+	inBufs   []uint64
+	stageOut [][]uint64 // per stage: produced output buffers
+
+	nextRelease int
+	inFlight    int
+	unfinished  map[int]sim.Time    // frame -> nominal release
+	firstJob    map[int]*ipcore.Job // frame -> stage-0 job (traversal start)
+	flicking    bool
+}
+
+// releaseTime is the nominal release instant of frame i.
+func (fs *flowState) releaseTime(i int) sim.Time {
+	return fs.phase + sim.Time(i)*fs.period
+}
+
+// NewRunner validates the inputs and prepares a run. The platform must be
+// freshly built (its engine at time zero) and its mode must match opts.
+func NewRunner(p *platform.Platform, apps []app.Spec, opts Options) (*Runner, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if p.Mode() != opts.Mode {
+		return nil, fmt.Errorf("core: platform mode %v != options mode %v", p.Mode(), opts.Mode)
+	}
+	if p.Eng.Now() != 0 {
+		return nil, fmt.Errorf("core: platform already used (now=%v)", p.Eng.Now())
+	}
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("core: no applications")
+	}
+	r := &Runner{p: p, opts: opts, apps: apps, cm: newChainManager(p)}
+	for ai := range apps {
+		a := &apps[ai]
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		for fi := range a.Flows {
+			f := &a.Flows[fi]
+			fs := &flowState{
+				id:         len(r.flows),
+				appIdx:     ai,
+				spec:       f,
+				aspec:      a,
+				qos:        app.NewQoS(f.Period()),
+				period:     f.Period(),
+				phase:      sim.Time(ai)*sim.Millisecond + sim.Time(fi)*250*sim.Microsecond,
+				unfinished: make(map[int]sim.Time),
+				firstJob:   make(map[int]*ipcore.Job),
+			}
+			fs.ring = opts.MaxBacklog + opts.BurstSize + 2
+			r.allocBuffers(fs)
+			ch, err := r.cm.open(fs.id, f)
+			if err != nil {
+				return nil, err
+			}
+			fs.chain = ch
+			r.flows = append(r.flows, fs)
+		}
+	}
+	return r, nil
+}
+
+// allocBuffers reserves the DRAM buffer rings a flow needs.
+func (r *Runner) allocBuffers(fs *flowState) {
+	if fs.spec.InBytes > 0 {
+		for i := 0; i < fs.ring; i++ {
+			fs.inBufs = append(fs.inBufs, r.p.AllocFrame(fs.spec.InBytes))
+		}
+	}
+	fs.stageOut = make([][]uint64, len(fs.spec.Stages))
+	for s, st := range fs.spec.Stages {
+		if st.OutBytes <= 0 {
+			continue
+		}
+		for i := 0; i < fs.ring; i++ {
+			fs.stageOut[s] = append(fs.stageOut[s], r.p.AllocFrame(st.OutBytes))
+		}
+	}
+}
+
+// Run executes the configured duration and returns the report. It may be
+// called once per Runner.
+func (r *Runner) Run() (*Report, error) {
+	if r.ran {
+		return nil, fmt.Errorf("core: runner already ran")
+	}
+	r.ran = true
+
+	// Chain instantiation (the open() calls of Figures 9-11) happens
+	// once per flow at app start in chained modes.
+	if r.p.Mode().Chained() {
+		for _, fs := range r.flows {
+			r.cpuTask(fs.appIdx, "open", r.opts.Costs.ChainOpen, nil)
+		}
+	}
+	// Touch processes for game apps.
+	r.startTouch()
+	// Kick every flow's release loop.
+	for _, fs := range r.flows {
+		r.scheduleNextRelease(fs)
+	}
+
+	r.p.Eng.Run(r.opts.Duration)
+	r.p.FinalizeAccounting()
+
+	// Expire frames that were submitted but never finished and are past
+	// their deadline: they are violations.
+	for _, fs := range r.flows {
+		for _, rel := range fs.unfinished {
+			if fs.qos.Deadline(rel) <= r.opts.Duration {
+				fs.qos.Expired()
+			}
+		}
+	}
+	return r.buildReport(), nil
+}
+
+// cpuTask schedules CPU work and invokes then when it retires.
+func (r *Runner) cpuTask(hint int, label string, d sim.Time, then func()) {
+	r.p.CPU.Exec(hint, &cpu.Task{Label: label, Duration: d, Instr: instrFor(d), OnDone: then})
+}
+
+// interrupt delivers an IP completion interrupt and runs then after the
+// ISR. Interrupts are routed to core 0 regardless of the requesting app,
+// as stock Linux does — with many apps the ISR load concentrates and
+// queues there, one of the §3.1 inefficiencies.
+func (r *Runner) interrupt(hint int, then func()) {
+	c := r.opts.Costs
+	r.p.CPU.Interrupt(0, &cpu.Task{Label: "isr", Duration: c.ISR, Instr: instrFor(c.ISR), OnDone: then})
+}
+
+// scheduleNextRelease arms the next release event of a flow.
+func (r *Runner) scheduleNextRelease(fs *flowState) {
+	at := fs.releaseTime(fs.nextRelease)
+	if at >= r.opts.Duration {
+		return
+	}
+	r.p.Eng.At(at, func() { r.releaseGroup(fs) })
+}
+
+// releaseGroup releases the next frame (per-frame modes) or the next burst
+// (burst modes) of a flow, then re-arms the release loop.
+func (r *Runner) releaseGroup(fs *flowState) {
+	mode := r.p.Mode()
+	b := 1
+	if mode.Bursted() {
+		b = r.opts.effectiveBurst(fs.aspec, fs.flicking)
+		if b > r.opts.MaxBacklog {
+			// The driver never submits more frames than its request
+			// queue holds (the Nexus 7 depth-7 limit of §2.2).
+			b = r.opts.MaxBacklog
+		}
+	}
+	first := fs.nextRelease
+	frames := make([]int, 0, b)
+	for i := first; i < first+b; i++ {
+		if fs.releaseTime(i) >= r.opts.Duration && i != first {
+			break
+		}
+		if fs.inFlight >= r.opts.MaxBacklog {
+			// Driver queue full (the Nexus 7 depth-7 limit): drop.
+			fs.qos.Dropped()
+			continue
+		}
+		fs.qos.Released()
+		fs.inFlight++
+		fs.unfinished[i] = fs.releaseTime(i)
+		frames = append(frames, i)
+	}
+	fs.nextRelease = first + b
+	r.scheduleNextRelease(fs)
+	if len(frames) == 0 {
+		return
+	}
+	switch {
+	case !mode.Chained() && !mode.Bursted():
+		r.submitBaseline(fs, frames[0])
+	case !mode.Chained() && mode.Bursted():
+		r.submitBurstUnchained(fs, frames)
+	case mode.Chained() && !mode.Bursted():
+		r.submitChained(fs, frames, false)
+	default:
+		r.submitChained(fs, frames, true)
+	}
+}
+
+// completeFrame records a frame's display/transmission moment.
+func (r *Runner) completeFrame(fs *flowState, frame int) {
+	rel, ok := fs.unfinished[frame]
+	if !ok {
+		return
+	}
+	delete(fs.unfinished, frame)
+	fs.inFlight--
+	start := rel
+	if j, ok := fs.firstJob[frame]; ok && j.Started() {
+		start = j.StartedAt()
+		delete(fs.firstJob, frame)
+	}
+	if tr := r.p.Tracer(); tr != nil {
+		tr.Span(fmt.Sprintf("flow%d:%s/%s", fs.id, fs.aspec.ID, fs.spec.Name),
+			fmt.Sprintf("f%d", frame), start, r.p.Eng.Now())
+	}
+	fs.qos.Completed(rel, start, r.p.Eng.Now())
+}
+
+// computeScale returns the deterministic per-frame compute multiplier:
+// the GOP's independent frame costs IFrameFactor, and every frame carries
+// seeded complexity jitter. Keyed hashing makes it independent of
+// evaluation order.
+func (r *Runner) computeScale(fs *flowState, frame int) float64 {
+	scale := 1.0
+	gop := fs.aspec.GOP
+	if gop > 0 && frame%gop == 0 && r.opts.IFrameFactor > 0 {
+		scale = r.opts.IFrameFactor
+	}
+	if n := r.opts.ComputeNoise; n > 0 {
+		h := sim.NewRNG(r.opts.Seed ^ uint64(fs.id)*0x9e3779b1 ^ uint64(frame)*0x85ebca77)
+		scale *= 1 + n*(2*h.Float64()-1)
+	}
+	return scale
+}
+
+// variesByFrame reports whether a kind's compute cost depends on frame
+// content (codecs and renderers do; DMA-style scanout and devices don't).
+func variesByFrame(k ipcore.Kind) bool {
+	switch k {
+	case ipcore.VD, ipcore.VE, ipcore.GPU, ipcore.IMG, ipcore.AD, ipcore.AE:
+		return true
+	}
+	return false
+}
+
+// makeJob constructs the stage-s job of a frame. chained selects the
+// IP-to-IP data path.
+func (r *Runner) makeJob(fs *flowState, frame, s int, chained bool) *ipcore.Job {
+	st := fs.spec.Stages[s]
+	j := &ipcore.Job{
+		Label:    fmt.Sprintf("%s/%s/s%d/f%d", fs.aspec.ID, fs.spec.Name, s, frame),
+		FlowID:   fs.id,
+		InBytes:  fs.spec.StageIn(s),
+		OutBytes: st.OutBytes,
+		Deadline: fs.qos.Deadline(fs.releaseTime(frame)),
+	}
+	if variesByFrame(st.Kind) {
+		j.ComputeScale = r.computeScale(fs, frame)
+	}
+	// Input side.
+	switch {
+	case s == 0 && st.Kind.IsSource():
+		// Sensor: generates data, paced by real time.
+		j.InBytes = 0
+		j.NotBefore = fs.releaseTime(frame)
+	case s == 0:
+		j.InFromDRAM = true
+		j.InAddr = fs.inBufs[frame%fs.ring]
+	case chained:
+		// Fed through the flow buffer by the upstream stage.
+	default:
+		// Zero-copy BufferQueue: the consumer maps the producer's buffer.
+		j.InFromDRAM = true
+		j.InAddr = fs.stageOut[s-1][frame%fs.ring]
+	}
+	// Output side.
+	if st.OutBytes > 0 {
+		if chained {
+			next := fs.spec.Stages[s+1].Kind
+			j.OutLane = r.p.IP(next).Lane(fs.chain.Lanes[s+1])
+		} else {
+			j.OutToDRAM = true
+			j.OutAddr = fs.stageOut[s][frame%fs.ring]
+		}
+	}
+	return j
+}
+
+// submitJob queues a stage job on its IP's lane for this flow.
+func (r *Runner) submitJob(fs *flowState, s int, j *ipcore.Job) {
+	kind := fs.spec.Stages[s].Kind
+	if err := r.p.IP(kind).Submit(fs.chain.Lanes[s], j); err != nil {
+		panic(fmt.Sprintf("core: submit %s: %v", j.Label, err))
+	}
+}
+
+// trackFirst remembers a frame's stage-0 job for traversal timing.
+func (r *Runner) trackFirst(fs *flowState, frame int, j *ipcore.Job) {
+	fs.firstJob[frame] = j
+}
+
+// ---- Baseline: per-frame CPU orchestration, memory staging ----
+
+// submitBaseline walks one frame through its stages: CPU setup, IP run,
+// interrupt, staging copy, next stage (Figure 1's control flow).
+func (r *Runner) submitBaseline(fs *flowState, frame int) {
+	r.baselineStage(fs, frame, 0)
+}
+
+func (r *Runner) baselineStage(fs *flowState, frame, s int) {
+	c := r.opts.Costs
+	d := c.SetupPerIP
+	if s == 0 {
+		d += fs.spec.CPUPrep
+	}
+	r.cpuTask(fs.appIdx, "setup", d, func() {
+		j := r.makeJob(fs, frame, s, false)
+		if s == 0 {
+			r.trackFirst(fs, frame, j)
+		}
+		last := s == len(fs.spec.Stages)-1
+		j.OnDone = func() {
+			if last {
+				r.completeFrame(fs, frame)
+			}
+			r.interrupt(fs.appIdx, func() {
+				if last {
+					return
+				}
+				// Software hand-off to the next stage's driver: Binder
+				// callback + thread wake + BufferQueue exchange.
+				r.p.Eng.After(c.Handoff, func() {
+					r.baselineStage(fs, frame, s+1)
+				})
+			})
+		}
+		r.submitJob(fs, s, j)
+	})
+}
+
+// ---- Frame Burst without IP-to-IP: gated descriptors through memory ----
+
+// submitBurstUnchained pre-programs every stage descriptor of the burst;
+// inter-stage data still moves through DRAM (with the staging copy), but
+// the CPU is only involved once per burst, and is interrupted once when
+// the burst drains (§4.3).
+func (r *Runner) submitBurstUnchained(fs *flowState, frames []int) {
+	c := r.opts.Costs
+	b := len(frames)
+	d := c.BurstSetupBase +
+		sim.Time(b)*(c.BurstSetupPerFrame+c.BurstResiduePerFrame+fs.spec.CPUPrep)
+	r.cpuTask(fs.appIdx, "burst-setup", d, func() {
+		lastFrame := frames[len(frames)-1]
+		for _, frame := range frames {
+			frame := frame
+			jobs := make([]*ipcore.Job, len(fs.spec.Stages))
+			for s := range fs.spec.Stages {
+				j := r.makeJob(fs, frame, s, false)
+				j.Gated = s > 0
+				if s == 0 && j.NotBefore == 0 {
+					// The burst header carries presentationTime[] per
+					// frame (Figure 9): descriptors are paced — with one
+					// period of lead — so a burst neither floods the
+					// shared memory system nor parks more than a couple
+					// of frames of work ahead of real time.
+					nb := fs.releaseTime(frame) - fs.period
+					if first := fs.releaseTime(frames[0]); nb < first {
+						nb = first
+					}
+					j.NotBefore = nb
+				}
+				jobs[s] = j
+			}
+			r.trackFirst(fs, frame, jobs[0])
+			for s := range jobs {
+				s := s
+				last := s == len(jobs)-1
+				jobs[s].OnDone = func() {
+					if last {
+						r.completeFrame(fs, frame)
+						if frame == lastFrame {
+							r.interrupt(fs.appIdx, nil)
+						}
+						return
+					}
+					// Release the next stage's pre-programmed
+					// descriptor — no CPU in the loop.
+					next := fs.spec.Stages[s+1].Kind
+					r.p.IP(next).Ungate(jobs[s+1])
+				}
+			}
+			for s := range jobs {
+				r.submitJob(fs, s, jobs[s])
+			}
+		}
+	})
+}
+
+// ---- Chained designs: IP-to-IP, IP-to-IP + bursts, VIP ----
+
+// submitChained submits one frame (burst=false) or a burst of frames
+// (burst=true) as super-requests through the instantiated chain: a header
+// packet travels ahead, data flows lane to lane, and the CPU hears back
+// once per frame (IP-to-IP) or once per burst (burst modes).
+func (r *Runner) submitChained(fs *flowState, frames []int, burst bool) {
+	c := r.opts.Costs
+	hops := len(fs.spec.Stages)
+	b := len(frames)
+	var d sim.Time
+	if burst {
+		d = c.ChainSetupBase + sim.Time(hops)*c.ChainSetupPerHop +
+			sim.Time(b)*(c.BurstSetupPerFrame+c.BurstResiduePerFrame+fs.spec.CPUPrep)
+	} else {
+		d = c.ChainSetupBase + sim.Time(hops)*c.ChainSetupPerHop + fs.spec.CPUPrep
+	}
+	r.cpuTask(fs.appIdx, "chain-setup", d, func() {
+		r.cm.sendHeader(fs.chain, b)
+		lastFrame := frames[len(frames)-1]
+		for _, frame := range frames {
+			frame := frame
+			jobs := make([]*ipcore.Job, len(fs.spec.Stages))
+			for s := range fs.spec.Stages {
+				jobs[s] = r.makeJob(fs, frame, s, true)
+			}
+			r.trackFirst(fs, frame, jobs[0])
+			// Wire producer -> consumer identity for shared-lane safety
+			// (and to model chain HOL blocking on single-lane hardware).
+			for s := 0; s < len(jobs)-1; s++ {
+				jobs[s].OutConsumer = jobs[s+1]
+			}
+			last := len(jobs) - 1
+			jobs[last].OnDone = func() {
+				r.completeFrame(fs, frame)
+				if !burst || frame == lastFrame {
+					r.interrupt(fs.appIdx, nil)
+				}
+			}
+			// Submit consumers before producers so lanes exist to fill.
+			for s := len(jobs) - 1; s >= 0; s-- {
+				r.submitJob(fs, s, jobs[s])
+			}
+		}
+	})
+}
+
+// ---- Touch processes (game apps, §4.3) ----
+
+// startTouch launches the tap/flick processes of game applications.
+func (r *Runner) startTouch() {
+	for ai := range r.apps {
+		a := &r.apps[ai]
+		if a.Class != app.ClassGame {
+			continue
+		}
+		switch a.Touch {
+		case app.TouchFlick:
+			m := app.NewFlickModel(r.opts.Seed + uint64(ai)*7919)
+			r.flickLoop(ai, m)
+		default:
+			m := app.NewTapModel(r.opts.Seed + uint64(ai)*104729)
+			r.tapLoop(ai, m)
+		}
+	}
+}
+
+// gameFlows returns the app's flows that participate in hybrid bursting.
+func (r *Runner) gameFlows(appIdx int) []*flowState {
+	var out []*flowState
+	for _, fs := range r.flows {
+		if fs.appIdx == appIdx && fs.spec.Display {
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
+// tapLoop delivers discrete taps; a tap that lands while speculative burst
+// frames are in flight forces a rollback re-computation (Figure 11).
+func (r *Runner) tapLoop(appIdx int, m *app.TapModel) {
+	var next func()
+	next = func() {
+		gap := m.NextGap()
+		if r.p.Eng.Now()+gap >= r.opts.Duration {
+			return
+		}
+		r.p.Eng.After(gap, func() {
+			r.cpuTask(appIdx, "touch", r.opts.Costs.TouchInput, nil)
+			if r.p.Mode().Bursted() {
+				now := r.p.Eng.Now()
+				for _, fs := range r.gameFlows(appIdx) {
+					// Frames speculated beyond the current presentation
+					// point are invalidated by the tap and recomputed
+					// (Figure 11's rollback path).
+					last := fs.nextRelease - 1
+					cur := int((now - fs.phase) / fs.period)
+					if last > cur {
+						r.rollbacks++
+						redo := sim.Time(last-cur) * fs.spec.CPUPrep
+						r.cpuTask(appIdx, "rollback", redo, nil)
+					}
+				}
+			}
+			next()
+		})
+	}
+	next()
+}
+
+// flickLoop alternates flick (bursting disabled) and idle (bursting
+// enabled) phases for swipe-driven games.
+func (r *Runner) flickLoop(appIdx int, m *app.FlickModel) {
+	var next func()
+	next = func() {
+		flick, gap := m.NextPhase()
+		now := r.p.Eng.Now()
+		if now >= r.opts.Duration {
+			return
+		}
+		r.cpuTask(appIdx, "flick", r.opts.Costs.TouchInput, nil)
+		for _, fs := range r.gameFlows(appIdx) {
+			fs.flicking = true
+		}
+		r.p.Eng.After(flick, func() {
+			for _, fs := range r.gameFlows(appIdx) {
+				fs.flicking = false
+			}
+			if r.p.Eng.Now()+gap < r.opts.Duration {
+				r.p.Eng.After(gap, next)
+			}
+		})
+	}
+	next()
+}

@@ -1,0 +1,71 @@
+package energy
+
+import "math"
+
+// SRAMModel is an analytic stand-in for the CACTI cache-modelling tool the
+// paper uses to cost the per-lane IP flow buffers (Figure 14b). CACTI
+// itself is a large C++ tool; for buffer sizing all that matters is the
+// monotone growth of per-access dynamic energy and of area with capacity,
+// with magnitudes in the published range (a few hundredths of a nJ per
+// read, a few tenths of a mm^2, for 0.5 KB - 64 KB buffers at a mobile
+// process node).
+//
+// The fitted forms are
+//
+//	readEnergy(S)  = e0 * (S/512)^0.50   nJ per access
+//	writeEnergy(S) = 1.1 * readEnergy(S)
+//	area(S)        = a0 * (S/512)^0.62   mm^2
+//
+// anchored so that a 0.5 KB buffer costs ~0.0045 nJ/read and ~0.018 mm^2,
+// and a 64 KB buffer ~0.051 nJ/read and ~0.365 mm^2, matching the axes of
+// Figure 14b.
+type SRAMModel struct {
+	// BaseReadNJ is the per-read dynamic energy of a 512 B array, in nJ.
+	BaseReadNJ float64
+	// BaseAreaMM2 is the area of a 512 B array, in mm^2.
+	BaseAreaMM2 float64
+	// EnergyExp and AreaExp are the capacity scaling exponents.
+	EnergyExp, AreaExp float64
+	// WriteFactor scales read energy to write energy.
+	WriteFactor float64
+}
+
+// DefaultSRAM returns the model used throughout the platform.
+func DefaultSRAM() SRAMModel {
+	return SRAMModel{
+		BaseReadNJ:  0.0045,
+		BaseAreaMM2: 0.018,
+		EnergyExp:   0.50,
+		AreaExp:     0.62,
+		WriteFactor: 1.1,
+	}
+}
+
+func (m SRAMModel) scale(bytes int, exp float64) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return math.Pow(float64(bytes)/512.0, exp)
+}
+
+// ReadEnergyNJ reports the dynamic energy of one read access to a buffer
+// of the given capacity, in nanojoules.
+func (m SRAMModel) ReadEnergyNJ(bytes int) float64 {
+	return m.BaseReadNJ * m.scale(bytes, m.EnergyExp)
+}
+
+// WriteEnergyNJ reports the dynamic energy of one write access.
+func (m SRAMModel) WriteEnergyNJ(bytes int) float64 {
+	return m.WriteFactor * m.ReadEnergyNJ(bytes)
+}
+
+// AreaMM2 reports the silicon area of a buffer of the given capacity.
+func (m SRAMModel) AreaMM2(bytes int) float64 {
+	return m.BaseAreaMM2 * m.scale(bytes, m.AreaExp)
+}
+
+// ReadEnergyJ is ReadEnergyNJ converted to joules, for Account arithmetic.
+func (m SRAMModel) ReadEnergyJ(bytes int) float64 { return m.ReadEnergyNJ(bytes) * 1e-9 }
+
+// WriteEnergyJ is WriteEnergyNJ converted to joules.
+func (m SRAMModel) WriteEnergyJ(bytes int) float64 { return m.WriteEnergyNJ(bytes) * 1e-9 }

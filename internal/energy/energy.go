@@ -1,0 +1,116 @@
+// Package energy provides the power/energy bookkeeping used by every
+// component model: a categorised joule accumulator, standard power-state
+// helpers, and an analytic CACTI-like SRAM model for sizing the IP flow
+// buffers (paper Figure 14b).
+//
+// Conventions: power is expressed in watts, energy in joules, and all
+// integration is done against sim.Time residencies by the component that
+// owns the state machine.
+package energy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Category labels a sink of energy in the platform. The experiment
+// harnesses report both totals and per-category breakdowns.
+type Category string
+
+// The categories used by the platform models.
+const (
+	CPUActive      Category = "cpu.active"
+	CPUIdle        Category = "cpu.idle"
+	CPUSleep       Category = "cpu.sleep"
+	CPUWake        Category = "cpu.wake"
+	DRAMDynamic    Category = "dram.dynamic"
+	DRAMActivate   Category = "dram.activate"
+	DRAMBackground Category = "dram.background"
+	IPActive       Category = "ip.active"
+	IPStall        Category = "ip.stall"
+	IPIdle         Category = "ip.idle"
+	FlowBuffer     Category = "ip.flowbuffer"
+	SystemAgent    Category = "sa"
+)
+
+// Account accumulates joules by category. The zero value is ready to use.
+// Account is not safe for concurrent use; the simulation is single-threaded.
+type Account struct {
+	byCat map[Category]float64
+}
+
+// Add records j joules against category c. Negative j panics: components
+// must never un-spend energy.
+func (a *Account) Add(c Category, j float64) {
+	if j < 0 {
+		panic(fmt.Sprintf("energy: negative energy %g for %s", j, c))
+	}
+	if a.byCat == nil {
+		a.byCat = make(map[Category]float64)
+	}
+	a.byCat[c] += j
+}
+
+// AddPower records power w (watts) applied for duration d.
+func (a *Account) AddPower(c Category, w float64, d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("energy: negative duration %v for %s", d, c))
+	}
+	a.Add(c, w*d.Seconds())
+}
+
+// Get reports the joules accumulated against c.
+func (a *Account) Get(c Category) float64 { return a.byCat[c] }
+
+// Total reports the sum over all categories. Summation follows sorted
+// category order so the result is bit-for-bit reproducible.
+func (a *Account) Total() float64 {
+	var t float64
+	for _, c := range a.Categories() {
+		t += a.byCat[c]
+	}
+	return t
+}
+
+// TotalPrefix sums every category whose name starts with prefix, so
+// TotalPrefix("cpu.") is total CPU energy. Summation follows sorted
+// category order so the result is bit-for-bit reproducible.
+func (a *Account) TotalPrefix(prefix string) float64 {
+	var t float64
+	for _, c := range a.Categories() {
+		if strings.HasPrefix(string(c), prefix) {
+			t += a.byCat[c]
+		}
+	}
+	return t
+}
+
+// Merge adds every category of other into a.
+func (a *Account) Merge(other *Account) {
+	for c, v := range other.byCat {
+		a.Add(c, v)
+	}
+}
+
+// Categories returns the categories with non-zero energy, sorted by name.
+func (a *Account) Categories() []Category {
+	cats := make([]Category, 0, len(a.byCat))
+	for c := range a.byCat {
+		cats = append(cats, c)
+	}
+	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
+	return cats
+}
+
+// String renders a human-readable breakdown in millijoules.
+func (a *Account) String() string {
+	var b strings.Builder
+	for _, c := range a.Categories() {
+		fmt.Fprintf(&b, "%-18s %10.3f mJ\n", c, a.byCat[c]*1e3)
+	}
+	fmt.Fprintf(&b, "%-18s %10.3f mJ", "total", a.Total()*1e3)
+	return b.String()
+}

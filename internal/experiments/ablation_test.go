@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+func TestSchedulerStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	st, err := RunSchedulerStudy("W1", 250*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rows) != 3 {
+		t.Fatalf("rows = %d", len(st.Rows))
+	}
+	byPolicy := map[ipcore.Policy]SchedRow{}
+	for _, r := range st.Rows {
+		byPolicy[r.Policy] = r
+	}
+	edf, rr, prio := byPolicy[ipcore.EDF], byPolicy[ipcore.RR], byPolicy[ipcore.Priority]
+	// RR rotates constantly: far more context switches than EDF.
+	if rr.CtxSwitches < 10*edf.CtxSwitches {
+		t.Errorf("RR ctx switches (%d) should dwarf EDF's (%d)", rr.CtxSwitches, edf.CtxSwitches)
+	}
+	// Fixed priority favours the first app: its QoS or tail must be
+	// worse than EDF's on a shared decoder.
+	if prio.ViolationRate <= edf.ViolationRate && prio.P99FlowMS <= edf.P99FlowMS {
+		t.Errorf("Priority should starve the late lane: prio(viol=%.3f p99=%.2f) vs edf(viol=%.3f p99=%.2f)",
+			prio.ViolationRate, prio.P99FlowMS, edf.ViolationRate, edf.P99FlowMS)
+	}
+	var buf bytes.Buffer
+	st.Write(&buf)
+	if !strings.Contains(buf.String(), "EDF") {
+		t.Error("Write missing policies")
+	}
+}
+
+func TestBurstSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := RunBurstSweep(250 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := s.Rows[0], s.Rows[len(s.Rows)-1]
+	// Larger bursts: strictly fewer interrupts, less energy.
+	if last.IntrPer100ms >= first.IntrPer100ms/2 {
+		t.Errorf("burst 7 interrupts (%.1f) should be well below burst 1 (%.1f)",
+			last.IntrPer100ms, first.IntrPer100ms)
+	}
+	if last.EnergyPerFr >= first.EnergyPerFr {
+		t.Errorf("burst 7 energy (%v) should beat burst 1 (%v)", last.EnergyPerFr, first.EnergyPerFr)
+	}
+}
+
+func TestLaneSweepShowsHOL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := RunLaneSweep(250 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One lane = chained bursts with head-of-line blocking; three lanes
+	// must cut violations sharply (W2 has three video flows).
+	if s.Rows[0].ViolationRate <= s.Rows[2].ViolationRate {
+		t.Errorf("1 lane (%.3f) should violate more than 3 lanes (%.3f)",
+			s.Rows[0].ViolationRate, s.Rows[2].ViolationRate)
+	}
+	if s.Rows[0].CtxSwitches != 0 {
+		t.Error("single-lane IPs cannot context switch")
+	}
+}
+
+func TestPatienceSweepShowsThrashCliff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := RunPatienceSweep(250 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, two := s.Rows[0], s.Rows[2]
+	if zero.CtxSwitches < 100*two.CtxSwitches {
+		t.Errorf("zero patience should thrash: %d vs %d switches", zero.CtxSwitches, two.CtxSwitches)
+	}
+	if zero.AvgFlowMS <= two.AvgFlowMS {
+		t.Errorf("thrashing should hurt flow time: %.2f vs %.2f", zero.AvgFlowMS, two.AvgFlowMS)
+	}
+}
+
+func TestCtxCostSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := RunCtxCostSweep(250 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows[0].CtxSwitches != 0 {
+		t.Error("free switches are not counted (no penalty path)")
+	}
+	first, last := s.Rows[1], s.Rows[len(s.Rows)-1]
+	if last.EnergyPerFr < first.EnergyPerFr {
+		t.Errorf("higher switch cost should not reduce energy: %v vs %v",
+			last.EnergyPerFr, first.EnergyPerFr)
+	}
+}
+
+func TestSubframeSweepRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	s, err := RunSubframeSweep(250 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != 4 {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	for _, r := range s.Rows {
+		if r.ViolationRate > 0.05 {
+			t.Errorf("subframe %s: violations %.1f%%; granularity should not break QoS",
+				r.Label, r.ViolationRate*100)
+		}
+	}
+	var buf bytes.Buffer
+	s.Write(&buf)
+	if !strings.Contains(buf.String(), "1KB") {
+		t.Error("Write missing rows")
+	}
+}

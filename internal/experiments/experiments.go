@@ -1,0 +1,127 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2, §3, §4.3, §5.5 and §6): the motivation measurements
+// (Figures 2-3), the touch studies (Figures 5-6), the buffer sizing study
+// (Figure 14), and the headline comparisons of the five system designs
+// (Figures 15-18), plus Tables 1-3.
+//
+// Each FigNN function runs the required simulations and returns a
+// structured result with a Write method that prints the same rows/series
+// the paper plots.
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/workload"
+)
+
+// Config describes one simulation run of a scenario.
+type Config struct {
+	Mode   platform.Mode
+	AppIDs []string
+	// Duration is the simulated time (default 400 ms).
+	Duration sim.Time
+	// FPSOverride, when non-zero, retargets every display flow.
+	FPSOverride float64
+	// IdealMemory swaps in the zero-latency DRAM (Figure 3's "Ideal").
+	IdealMemory bool
+	// LaneBufBytes overrides the per-lane flow-buffer size (Figure 14a).
+	LaneBufBytes int
+	// BurstSize overrides the nominal frame-burst size.
+	BurstSize int
+	// Seed for the touch models.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration == 0 {
+		c.Duration = 400 * sim.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Run executes one scenario and returns the report.
+func Run(cfg Config) (*core.Report, error) {
+	cfg = cfg.withDefaults()
+	specs := make([]app.Spec, 0, len(cfg.AppIDs))
+	for _, id := range cfg.AppIDs {
+		a, err := workload.App(id)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.FPSOverride > 0 {
+			for i := range a.Flows {
+				a.Flows[i].FPS = cfg.FPSOverride
+			}
+		}
+		specs = append(specs, a)
+	}
+	pcfg := platform.DefaultConfig(cfg.Mode)
+	if cfg.IdealMemory {
+		pcfg.DRAM.Ideal = true
+	}
+	if cfg.LaneBufBytes > 0 {
+		pcfg.LaneBufBytes = cfg.LaneBufBytes
+	}
+	p := platform.New(pcfg)
+	opts := core.DefaultOptions(cfg.Mode)
+	opts.Duration = cfg.Duration
+	opts.Seed = cfg.Seed
+	if cfg.BurstSize > 0 {
+		opts.BurstSize = cfg.BurstSize
+	}
+	r, err := core.NewRunner(p, specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run()
+}
+
+// Scenario is one column of Figures 15-18: a single app (A1-A7) or a
+// Table 2 mix (W1-W8).
+type Scenario struct {
+	ID     string
+	AppIDs []string
+}
+
+// Scenarios returns the evaluation's 15 columns in paper order.
+func Scenarios() []Scenario {
+	out := make([]Scenario, 0, 15)
+	for _, id := range []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7"} {
+		out = append(out, Scenario{ID: id, AppIDs: []string{id}})
+	}
+	for _, w := range workload.Workloads() {
+		out = append(out, Scenario{ID: w.ID, AppIDs: w.AppIDs})
+	}
+	return out
+}
+
+// ScenarioByID resolves one scenario id (A1..A7 or W1..W8).
+func ScenarioByID(id string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("experiments: unknown scenario %q", id)
+}
+
+// geoMeanSafe returns the arithmetic mean of vals (the paper's AVG bars
+// are arithmetic); zero-length input yields 0.
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+const testDur = 120 * sim.Millisecond
+
+func TestRunDefaults(t *testing.T) {
+	rep, err := Run(Config{Mode: platform.Baseline, AppIDs: []string{"A3"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DisplayedFrames == 0 {
+		t.Error("no frames displayed")
+	}
+}
+
+func TestRunUnknownApp(t *testing.T) {
+	if _, err := Run(Config{Mode: platform.Baseline, AppIDs: []string{"A99"}}); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestRunFPSOverride(t *testing.T) {
+	r60, err := Run(Config{Mode: platform.Baseline, AppIDs: []string{"A5"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r24, err := Run(Config{Mode: platform.Baseline, AppIDs: []string{"A5"}, Duration: testDur, FPSOverride: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r24.DisplayedFrames >= r60.DisplayedFrames {
+		t.Errorf("24 FPS displayed %d >= 60 FPS %d", r24.DisplayedFrames, r60.DisplayedFrames)
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	sc := Scenarios()
+	if len(sc) != 15 {
+		t.Fatalf("got %d scenarios, want 15 (A1-A7 + W1-W8)", len(sc))
+	}
+	if sc[0].ID != "A1" || sc[7].ID != "W1" || sc[14].ID != "W8" {
+		t.Errorf("scenario order wrong: %v", sc)
+	}
+	if _, err := ScenarioByID("W4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ScenarioByID("X9"); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestFig02ShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	// Longer horizon: the 4-app backlog only starts dropping frames a
+	// couple hundred milliseconds in.
+	f, err := RunFig02(400 * sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU time grows with app count (Figure 2a).
+	for i := 1; i < len(f.Apps); i++ {
+		if f.CPUTimeMS60[i] <= f.CPUTimeMS60[i-1] {
+			t.Errorf("CPU time should grow: %v", f.CPUTimeMS60)
+		}
+	}
+	// 60 FPS costs more CPU than 24 FPS.
+	if f.CPUTimeMS60[0] <= f.CPUTimeMS24[0] {
+		t.Errorf("60 FPS (%v) should cost more than 24 FPS (%v)", f.CPUTimeMS60[0], f.CPUTimeMS24[0])
+	}
+	// ~3x interrupts at 4 apps (paper reports 3x).
+	if f.InterruptsNorm[3] < 2.5 {
+		t.Errorf("interrupts at 4 apps = %.2fx, paper reports ~3x", f.InterruptsNorm[3])
+	}
+	// FPS degrades below 60 at 4 apps (Figure 2b).
+	if f.FPS[3] >= f.FPS[0] {
+		t.Errorf("FPS should degrade: %v", f.FPS)
+	}
+	// CPU energy per frame grows (Figure 2a secondary axis).
+	if f.EnergyNorm[3] <= f.EnergyNorm[0] {
+		t.Errorf("CPU energy/frame should grow: %v", f.EnergyNorm)
+	}
+	var buf bytes.Buffer
+	f.Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 2a") {
+		t.Error("Write output missing title")
+	}
+}
+
+func TestFig03ShapesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := RunFig03(testDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 3a: active time grows with apps; ideal(4) beats real 4.
+	if f.ActivePerFrameMS[3] <= f.ActivePerFrameMS[0] {
+		t.Errorf("VD active time should grow: %v", f.ActivePerFrameMS)
+	}
+	if f.IdealActiveMS >= f.ActivePerFrameMS[3] {
+		t.Errorf("ideal memory (%v ms) should beat real (%v ms)", f.IdealActiveMS, f.ActivePerFrameMS[3])
+	}
+	// Figure 3b: utilization falls with apps; ideal stays high.
+	if f.Utilization[3] >= f.Utilization[0] {
+		t.Errorf("utilization should fall: %v", f.Utilization)
+	}
+	if f.IdealUtilization < 0.95 {
+		t.Errorf("ideal-memory utilization = %v, want ~100%%", f.IdealUtilization)
+	}
+	// Figure 3c: bandwidth grows with apps.
+	for i := 1; i < 4; i++ {
+		if f.AvgBWGBps[i] <= f.AvgBWGBps[i-1] {
+			t.Errorf("bandwidth should grow: %v", f.AvgBWGBps)
+		}
+	}
+	// Figure 3d: far more time near peak with 4 apps than 1.
+	if f.TimeAbove80[3] <= f.TimeAbove80[0] {
+		t.Errorf(">80%% residency should grow: %v", f.TimeAbove80)
+	}
+	var buf bytes.Buffer
+	f.Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 3d") {
+		t.Error("Write output missing panels")
+	}
+}
+
+func TestFig05MatchesPaperShape(t *testing.T) {
+	f := RunFig05(20000, 1)
+	if f.Over05 < 0.55 {
+		t.Errorf("taps over 0.5s = %.2f, paper says >60%%", f.Over05)
+	}
+	if f.Bins[0] != 0 {
+		t.Error("no taps under the 0.15s floor")
+	}
+	var buf bytes.Buffer
+	f.Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 5") {
+		t.Error("Write output missing title")
+	}
+}
+
+func TestFig06MatchesPaperShape(t *testing.T) {
+	f := RunFig06(100*60*sim.Second, 1)
+	frac := f.BurstableFrac()
+	if frac < 0.45 || frac > 0.75 {
+		t.Errorf("burstable fraction = %.2f, paper says ~60%%", frac)
+	}
+	if f.MaxBurst < 27 {
+		t.Errorf("max burst = %d, Figure 6b shows bursts past 27 frames", f.MaxBurst)
+	}
+	var buf bytes.Buffer
+	f.Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 6a") {
+		t.Error("Write output missing panels")
+	}
+}
+
+func TestFig14MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	f, err := RunFig14(testDur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 14a: small buffers stretch the flow time; by 8KB it's flat.
+	if f.FlowTimeNorm[0] <= f.FlowTimeNorm[len(f.FlowTimeNorm)-1] {
+		t.Errorf("0.5KB (%v) should be slower than 16KB (%v)",
+			f.FlowTimeNorm[0], f.FlowTimeNorm[len(f.FlowTimeNorm)-1])
+	}
+	if f.FlowTimeNorm[0] < 1.0 {
+		t.Errorf("nothing beats the unbounded buffer: %v", f.FlowTimeNorm)
+	}
+	// Figure 14b: monotone energy/area.
+	for i := 1; i < len(f.SizesB); i++ {
+		if f.ReadNJ[i] <= f.ReadNJ[i-1] || f.AreaMM2[i] <= f.AreaMM2[i-1] {
+			t.Error("buffer energy/area must grow with size")
+		}
+	}
+	var buf bytes.Buffer
+	f.Write(&buf)
+	if !strings.Contains(buf.String(), "Figure 14b") {
+		t.Error("Write output missing panels")
+	}
+}
+
+func TestTables(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable1(&buf)
+	out := buf.String()
+	for _, want := range []string{"A1", "A7", "Video Player", "CAM - VE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 missing %q", want)
+		}
+	}
+	buf.Reset()
+	WriteTable2(&buf)
+	out = buf.String()
+	for _, want := range []string{"W1", "W8", "Skype"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	buf.Reset()
+	WriteTable3(&buf)
+	out = buf.String()
+	for _, want := range []string{"LPDDR3", "4-core", "60 (16.66 ms)", "VD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}
+
+func TestByteLabel(t *testing.T) {
+	if byteLabel(512) != "0.5KB" || byteLabel(2048) != "2KB" {
+		t.Errorf("byteLabel wrong: %s %s", byteLabel(512), byteLabel(2048))
+	}
+}
+
+func TestMean(t *testing.T) {
+	if mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Fig02 reproduces the paper's §2/§3 motivation measurement: n concurrent
+// video players (n = 1..4) on the *baseline* system, profiled for CPU
+// active time, per-frame energy, interrupt load and achieved FPS
+// (Figures 2a and 2b; the paper instruments Grafika on a Nexus 7, we
+// instrument the simulated platform).
+type Fig02 struct {
+	Apps []int // app counts, 1..4
+
+	// Figure 2a.
+	CPUTimeMS60 []float64 // total CPU active ms per second of playback, 60 FPS
+	CPUTimeMS24 []float64 // same at 24 FPS
+	// EnergyNorm is the active CPU-core energy per displayed frame
+	// normalized to 1 app (the paper's footnote 3: per-core energy is
+	// estimated in the simulator). Idle/sleep floors are excluded so the
+	// metric isolates the per-frame orchestration cost.
+	EnergyNorm []float64
+
+	// Figure 2b.
+	InterruptsNorm []float64 // interrupts normalized to 1 app
+	FPS            []float64 // achieved FPS per stream
+}
+
+// RunFig02 executes the four baseline runs at both frame rates.
+func RunFig02(dur sim.Time) (*Fig02, error) {
+	f := &Fig02{Apps: []int{1, 2, 3, 4}}
+	var ePerFrame1, intr1 float64
+	for _, n := range f.Apps {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = "A5"
+		}
+		rep, err := Run(Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur})
+		if err != nil {
+			return nil, err
+		}
+		rep24, err := Run(Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur, FPSOverride: 24})
+		if err != nil {
+			return nil, err
+		}
+		f.CPUTimeMS60 = append(f.CPUTimeMS60, rep.CPUActiveMSPerSec)
+		f.CPUTimeMS24 = append(f.CPUTimeMS24, rep24.CPUActiveMSPerSec)
+		active := rep.Energy.Get(energy.CPUActive) + rep.Energy.Get(energy.CPUWake)
+		cpuPerFrame := active / float64(rep.DisplayedFrames)
+		if n == 1 {
+			ePerFrame1 = cpuPerFrame
+			intr1 = float64(rep.CPU.Interrupts)
+		}
+		f.EnergyNorm = append(f.EnergyNorm, cpuPerFrame/ePerFrame1)
+		f.InterruptsNorm = append(f.InterruptsNorm, float64(rep.CPU.Interrupts)/intr1)
+		f.FPS = append(f.FPS, rep.AchievedFPSTotal/float64(n))
+	}
+	return f, nil
+}
+
+// Write prints both panels.
+func (f *Fig02) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 2a: CPU active time and energy per frame vs. concurrent video apps (Baseline)")
+	fmt.Fprintf(w, "%-8s%16s%16s%18s\n", "apps", "CPU ms/s (60)", "CPU ms/s (24)", "CPU energy/frame (x)")
+	for i, n := range f.Apps {
+		fmt.Fprintf(w, "%-8d%16.1f%16.1f%18.2f\n", n, f.CPUTimeMS60[i], f.CPUTimeMS24[i], f.EnergyNorm[i])
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 2b: Interrupts (normalized to 1 app) and achieved FPS")
+	fmt.Fprintf(w, "%-8s%16s%12s\n", "apps", "interrupts (x)", "FPS")
+	for i, n := range f.Apps {
+		fmt.Fprintf(w, "%-8d%16.2f%12.1f\n", n, f.InterruptsNorm[i], f.FPS[i])
+	}
+}

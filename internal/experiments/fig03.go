@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Fig03 reproduces the paper's memory-inefficiency analysis (Figure 3):
+// the video decoder IP observed while 1..4 video players run on the
+// baseline, plus the 4-app run on an ideal (zero-latency) memory.
+type Fig03 struct {
+	Apps []int
+
+	// Figure 3a/3b: VD active time per frame and utilization.
+	ActivePerFrameMS []float64
+	Utilization      []float64
+	IdealActiveMS    float64 // 4 apps, ideal memory
+	IdealUtilization float64
+
+	// Figure 3c: average consumed bandwidth (GB/s).
+	AvgBWGBps []float64
+
+	// Figure 3d: per-run bandwidth residency histogram (10 bins of
+	// fraction-of-peak, each counting 1ms windows).
+	BWHistograms [][]int
+
+	// TimeAbove80 is the fraction of windows above 80% of peak.
+	TimeAbove80 []float64
+}
+
+// RunFig03 executes the sweep.
+func RunFig03(dur sim.Time) (*Fig03, error) {
+	f := &Fig03{Apps: []int{1, 2, 3, 4}}
+	for _, n := range f.Apps {
+		ids := make([]string, n)
+		for i := range ids {
+			ids[i] = "A5"
+		}
+		rep, err := Run(Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur})
+		if err != nil {
+			return nil, err
+		}
+		vd := rep.IPStat(ipcore.VD)
+		frames := float64(vd.Frames)
+		if frames == 0 {
+			frames = 1
+		}
+		f.ActivePerFrameMS = append(f.ActivePerFrameMS,
+			vd.ActiveTime().Milliseconds()/frames*float64(n))
+		f.Utilization = append(f.Utilization, vd.Utilization())
+		f.AvgBWGBps = append(f.AvgBWGBps, rep.AvgBWBps/1e9)
+		f.BWHistograms = append(f.BWHistograms, rep.BWHistogram)
+		f.TimeAbove80 = append(f.TimeAbove80, rep.TimeAbove80)
+	}
+	ideal, err := Run(Config{Mode: platform.Baseline, AppIDs: []string{"A5", "A5", "A5", "A5"},
+		Duration: dur, IdealMemory: true})
+	if err != nil {
+		return nil, err
+	}
+	vd := ideal.IPStat(ipcore.VD)
+	frames := float64(vd.Frames)
+	if frames == 0 {
+		frames = 1
+	}
+	f.IdealActiveMS = vd.ActiveTime().Milliseconds() / frames * 4
+	f.IdealUtilization = vd.Utilization()
+	return f, nil
+}
+
+// Write prints all four panels.
+func (f *Fig03) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 3a: Total VD active time to serve one frame from every app (ms)")
+	for i, n := range f.Apps {
+		fmt.Fprintf(w, "  %d app: %6.2f\n", n, f.ActivePerFrameMS[i])
+	}
+	fmt.Fprintf(w, "  Ideal(4): %6.2f\n\n", f.IdealActiveMS)
+
+	fmt.Fprintln(w, "Figure 3b: VD utilization (compute / active)")
+	for i, n := range f.Apps {
+		fmt.Fprintf(w, "  %d app: %5.1f%%\n", n, f.Utilization[i]*100)
+	}
+	fmt.Fprintf(w, "  Ideal(4): %5.1f%%\n\n", f.IdealUtilization*100)
+
+	fmt.Fprintln(w, "Figure 3c: Average memory bandwidth consumed (GB/s)")
+	for i, n := range f.Apps {
+		fmt.Fprintf(w, "  %d app: %5.2f\n", n, f.AvgBWGBps[i])
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "Figure 3d: Time distribution of memory bandwidth (1ms windows per decile of peak)")
+	fmt.Fprintf(w, "%-8s", "apps")
+	for b := 0; b < 10; b++ {
+		fmt.Fprintf(w, "%7d%%", (b+1)*10)
+	}
+	fmt.Fprintf(w, "%9s\n", ">80%time")
+	for i, n := range f.Apps {
+		fmt.Fprintf(w, "%-8d", n)
+		for _, c := range f.BWHistograms[i] {
+			fmt.Fprintf(w, "%8d", c)
+		}
+		fmt.Fprintf(w, "%8.0f%%\n", f.TimeAbove80[i]*100)
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Fig05 reproduces the Flappy Bird tap-interval distribution (Figure 5):
+// the percentage of taps per 0.05s interval bin, sampled from the fitted
+// touch model (the paper sampled 20 users for 10+ minutes each).
+type Fig05 struct {
+	Samples int
+	// Bins[0] is "<0.15s"; Bins[i] for i>=1 covers [0.10+0.05i, 0.15+0.05i).
+	Bins []float64
+	// Over05 is the fraction of taps with gaps above 0.5s (the paper
+	// reports >60%).
+	Over05 float64
+}
+
+// RunFig05 samples the tap model.
+func RunFig05(samples int, seed uint64) *Fig05 {
+	if samples <= 0 {
+		samples = 24000 // ~20 users x 10 min x ~2 taps/s
+	}
+	m := app.NewTapModel(seed)
+	f := &Fig05{Samples: samples, Bins: m.TapHistogram(samples, 1.25)}
+	over := 0
+	m2 := app.NewTapModel(seed)
+	for i := 0; i < samples; i++ {
+		if m2.NextGap() > 500*sim.Millisecond {
+			over++
+		}
+	}
+	f.Over05 = float64(over) / float64(samples)
+	return f
+}
+
+// Write prints the histogram in Figure 5's binning.
+func (f *Fig05) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 5: Distribution of time between two taps, Flappy Bird model")
+	fmt.Fprintf(w, "  %-10s %s\n", "interval", "% of taps")
+	for i, v := range f.Bins {
+		label := "<0.15"
+		if i > 0 {
+			label = fmt.Sprintf("%.2f", 0.15+0.05*float64(i-1))
+		}
+		fmt.Fprintf(w, "  %-10s %5.1f%% %s\n", label, v*100, bar(v*100, 1))
+	}
+	fmt.Fprintf(w, "  taps with gap > 0.5s: %.0f%% (paper: >60%%)\n", f.Over05*100)
+}
+
+// bar renders a crude ASCII bar for terminal output.
+func bar(value, perChar float64) string {
+	n := int(value / perChar)
+	if n < 0 {
+		n = 0
+	}
+	if n > 60 {
+		n = 60
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Fig06 reproduces the Fruit Ninja flick study (Figure 6): panel (a) the
+// fraction of frames that can/cannot be frame-bursted, panel (b) the
+// distribution of the maximum burst length available between flicks,
+// in 3-frame bins at 60 FPS.
+type Fig06 struct {
+	Burstable, Total int
+	// BinCounts[i] counts gaps allowing [3i, 3i+3) frames per burst;
+	// the last bin is open-ended.
+	BinCounts []int
+	MaxBurst  int
+}
+
+// RunFig06 samples the flick model for the given gameplay duration.
+func RunFig06(dur sim.Time, seed uint64) *Fig06 {
+	if dur <= 0 {
+		dur = 200 * 60 * sim.Second // ~20 users x 10 min
+	}
+	m := app.NewFlickModel(seed)
+	burstable, total, sizes := m.BurstabilitySample(dur, 60)
+	f := &Fig06{Burstable: burstable, Total: total}
+	const bins = 68 // 0..201+, 3-frame bins like the paper's x axis
+	f.BinCounts = make([]int, bins)
+	for _, s := range sizes {
+		if s > f.MaxBurst {
+			f.MaxBurst = s
+		}
+		b := s / 3
+		if b >= bins {
+			b = bins - 1
+		}
+		f.BinCounts[b]++
+	}
+	return f
+}
+
+// BurstableFrac reports panel (a)'s headline fraction.
+func (f *Fig06) BurstableFrac() float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Burstable) / float64(f.Total)
+}
+
+// Write prints both panels.
+func (f *Fig06) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6a: Fraction of frames that can be frame-bursted (Fruit Ninja model)")
+	fmt.Fprintf(w, "  CAN burst:    %5.1f%% (paper: ~60%%)\n", f.BurstableFrac()*100)
+	fmt.Fprintf(w, "  CANNOT burst: %5.1f%% (paper: ~40%%)\n\n", (1-f.BurstableFrac())*100)
+
+	fmt.Fprintln(w, "Figure 6b: Max frames available per burst between flicks (3-frame bins, 60 FPS)")
+	totalBursts := 0
+	for _, c := range f.BinCounts {
+		totalBursts += c
+	}
+	if totalBursts == 0 {
+		return
+	}
+	for i, c := range f.BinCounts {
+		if c == 0 {
+			continue
+		}
+		pct := 100 * float64(c) / float64(totalBursts)
+		label := fmt.Sprintf("%d-%d", i*3, i*3+3)
+		if i == len(f.BinCounts)-1 {
+			label = fmt.Sprintf("%d+", i*3)
+		}
+		fmt.Fprintf(w, "  %-8s %5.1f%% %s\n", label, pct, bar(pct, 0.5))
+	}
+	fmt.Fprintf(w, "  max burst observed: %d frames\n", f.MaxBurst)
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Fig14 reproduces the flow-buffer sizing study (§5.5): panel (a) the
+// end-to-end flow time of a chained video flow as the per-lane buffer
+// shrinks (normalized to an effectively unbounded buffer), panel (b) the
+// CACTI-modelled per-read energy and area of the buffer across sizes.
+type Fig14 struct {
+	SizesA []int // swept lane sizes for panel (a)
+	// FlowTimeNorm[i] is flow time with SizesA[i] normalized to Ideal.
+	FlowTimeNorm []float64
+	IdealFlow    sim.Time
+
+	SizesB   []int // sizes for panel (b)
+	ReadNJ   []float64
+	AreaMM2  []float64
+	WriteNJ  []float64
+	SRAMNote string
+}
+
+// RunFig14 executes the sweep on a single chained video player.
+func RunFig14(dur sim.Time) (*Fig14, error) {
+	f := &Fig14{
+		SizesA: []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
+		SizesB: []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10},
+	}
+	// "Ideal": a lane big enough to never back-pressure.
+	ideal, err := Run(Config{Mode: platform.IPToIP, AppIDs: []string{"A5"},
+		Duration: dur, LaneBufBytes: 1 << 20})
+	if err != nil {
+		return nil, err
+	}
+	f.IdealFlow = ideal.AvgFlowTime
+	for _, sz := range f.SizesA {
+		rep, err := Run(Config{Mode: platform.IPToIP, AppIDs: []string{"A5"},
+			Duration: dur, LaneBufBytes: sz})
+		if err != nil {
+			return nil, err
+		}
+		f.FlowTimeNorm = append(f.FlowTimeNorm, float64(rep.AvgFlowTime)/float64(f.IdealFlow))
+	}
+	m := energy.DefaultSRAM()
+	for _, sz := range f.SizesB {
+		f.ReadNJ = append(f.ReadNJ, m.ReadEnergyNJ(sz))
+		f.WriteNJ = append(f.WriteNJ, m.WriteEnergyNJ(sz))
+		f.AreaMM2 = append(f.AreaMM2, m.AreaMM2(sz))
+	}
+	f.SRAMNote = "analytic CACTI-like model (see internal/energy/cacti.go)"
+	return f, nil
+}
+
+// Write prints both panels.
+func (f *Fig14) Write(w io.Writer) {
+	fmt.Fprintln(w, "Figure 14a: Increase in flow time vs. per-lane buffer size (normalized to unbounded)")
+	fmt.Fprintf(w, "  %-8s %s\n", "buffer", "flow time (x)")
+	for i, sz := range f.SizesA {
+		fmt.Fprintf(w, "  %-8s %8.3f\n", byteLabel(sz), f.FlowTimeNorm[i])
+	}
+	fmt.Fprintf(w, "  %-8s %8.3f\n\n", "Ideal", 1.0)
+
+	fmt.Fprintf(w, "Figure 14b: Flow-buffer read energy and area vs. size (%s)\n", f.SRAMNote)
+	fmt.Fprintf(w, "  %-8s%14s%14s%12s\n", "size", "read (nJ)", "write (nJ)", "area (mm2)")
+	for i, sz := range f.SizesB {
+		fmt.Fprintf(w, "  %-8s%14.4f%14.4f%12.3f\n", byteLabel(sz), f.ReadNJ[i], f.WriteNJ[i], f.AreaMM2[i])
+	}
+}
+
+// byteLabel renders 512 -> "0.5KB", 2048 -> "2KB".
+func byteLabel(n int) string {
+	if n < 1<<10 {
+		return fmt.Sprintf("%.1fKB", float64(n)/1024)
+	}
+	return fmt.Sprintf("%dKB", n>>10)
+}

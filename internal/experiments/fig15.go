@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// ModeSweep holds, for every scenario and every system design, the report
+// metrics Figures 15-18 are drawn from. Running it once serves all four
+// figures.
+type ModeSweep struct {
+	Duration  sim.Time
+	Scenarios []Scenario
+	// Cells[scenarioIdx][modeIdx] with modes in platform.AllModes order.
+	Cells [][]*Cell
+}
+
+// Cell is one (scenario, mode) outcome.
+type Cell struct {
+	EnergyPerFrameJ float64
+	CPUEnergyJ      float64
+	Instructions    uint64
+	Interrupts      uint64
+	InterruptsP100  float64
+	AvgFlowTime     sim.Time
+	ViolationRate   float64
+	DisplayedFrames int
+	OfferedFrames   int
+}
+
+// RunModeSweep executes every scenario under every mode.
+func RunModeSweep(dur sim.Time) (*ModeSweep, error) {
+	sw := &ModeSweep{Duration: dur, Scenarios: Scenarios()}
+	for _, sc := range sw.Scenarios {
+		row := make([]*Cell, 0, len(platform.AllModes()))
+		for _, m := range platform.AllModes() {
+			rep, err := Run(Config{Mode: m, AppIDs: sc.AppIDs, Duration: dur})
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", sc.ID, m, err)
+			}
+			row = append(row, &Cell{
+				EnergyPerFrameJ: rep.EnergyPerFrameJ,
+				CPUEnergyJ:      rep.CPUEnergyJ,
+				Instructions:    rep.CPU.Instructions,
+				Interrupts:      rep.CPU.Interrupts,
+				InterruptsP100:  rep.InterruptsPer100ms,
+				AvgFlowTime:     rep.AvgFlowTime,
+				ViolationRate:   rep.ViolationRate,
+				DisplayedFrames: rep.DisplayedFrames,
+				OfferedFrames:   rep.OfferedFrames,
+			})
+		}
+		sw.Cells = append(sw.Cells, row)
+	}
+	return sw, nil
+}
+
+// modeIdx maps a mode to its column.
+func modeIdx(m platform.Mode) int {
+	for i, mm := range platform.AllModes() {
+		if mm == m {
+			return i
+		}
+	}
+	return -1
+}
+
+// NormalizedEnergy returns Figure 15's series: energy per frame of each
+// mode normalized to Baseline, per scenario, plus the AVG row.
+func (sw *ModeSweep) NormalizedEnergy() ([][]float64, []float64) {
+	return sw.normalized(func(c *Cell) float64 { return c.EnergyPerFrameJ })
+}
+
+// NormalizedFlowTime returns Figure 17's series: per-frame flow time
+// normalized to Baseline.
+func (sw *ModeSweep) NormalizedFlowTime() ([][]float64, []float64) {
+	return sw.normalized(func(c *Cell) float64 { return float64(c.AvgFlowTime) })
+}
+
+// NormalizedViolations returns Figure 18's series: QoS violations
+// normalized to Baseline. Scenarios where the baseline has zero
+// violations use absolute violation-rate deltas offset at 1.0, so a
+// perfect mode stays at 1.0 and regressions rise above it (the paper's
+// baseline always has some violations; our single-app columns often have
+// none).
+func (sw *ModeSweep) NormalizedViolations() ([][]float64, []float64) {
+	rows := make([][]float64, len(sw.Cells))
+	for i, row := range sw.Cells {
+		base := row[modeIdx(platform.Baseline)].ViolationRate
+		vals := make([]float64, len(row))
+		for j, c := range row {
+			if base > 0 {
+				vals[j] = c.ViolationRate / base
+			} else {
+				vals[j] = 1 + c.ViolationRate
+			}
+		}
+		rows[i] = vals
+	}
+	return rows, columnsMean(rows)
+}
+
+func (sw *ModeSweep) normalized(metric func(*Cell) float64) ([][]float64, []float64) {
+	rows := make([][]float64, len(sw.Cells))
+	for i, row := range sw.Cells {
+		base := metric(row[modeIdx(platform.Baseline)])
+		vals := make([]float64, len(row))
+		for j, c := range row {
+			if base > 0 {
+				vals[j] = metric(c) / base
+			}
+		}
+		rows[i] = vals
+	}
+	return rows, columnsMean(rows)
+}
+
+func columnsMean(rows [][]float64) []float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	avg := make([]float64, len(rows[0]))
+	for _, r := range rows {
+		for j, v := range r {
+			avg[j] += v
+		}
+	}
+	for j := range avg {
+		avg[j] /= float64(len(rows))
+	}
+	return avg
+}
+
+// WriteFig15 prints Figure 15: normalized energy per frame.
+func (sw *ModeSweep) WriteFig15(w io.Writer) {
+	sw.writeNormalized(w, "Figure 15: Normalized energy per frame (lower is better)", sw.NormalizedEnergy)
+}
+
+// WriteFig17 prints Figure 17: normalized flow time per frame.
+func (sw *ModeSweep) WriteFig17(w io.Writer) {
+	sw.writeNormalized(w, "Figure 17: Normalized flow time per frame (lower is better)", sw.NormalizedFlowTime)
+}
+
+// WriteFig18 prints Figure 18: normalized QoS violations.
+func (sw *ModeSweep) WriteFig18(w io.Writer) {
+	sw.writeNormalized(w, "Figure 18: Normalized QoS violations (lower is better)", sw.NormalizedViolations)
+}
+
+func (sw *ModeSweep) writeNormalized(w io.Writer, title string, series func() ([][]float64, []float64)) {
+	rows, avg := series()
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%-6s", "")
+	for _, m := range platform.AllModes() {
+		fmt.Fprintf(w, "%14s", m)
+	}
+	fmt.Fprintln(w)
+	for i, sc := range sw.Scenarios {
+		fmt.Fprintf(w, "%-6s", sc.ID)
+		for _, v := range rows[i] {
+			fmt.Fprintf(w, "%14.3f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-6s", "AVG")
+	for _, v := range avg {
+		fmt.Fprintf(w, "%14.3f", v)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFig16 prints Figure 16: (a) CPU energy and instruction reduction
+// from frame bursts, (b) interrupts per 100 ms Baseline vs FrameBurst.
+func (sw *ModeSweep) WriteFig16(w io.Writer) {
+	bi := modeIdx(platform.Baseline)
+	fi := modeIdx(platform.FrameBurst)
+	fmt.Fprintln(w, "Figure 16a: Reduction in CPU energy and instructions with Frame Bursts")
+	fmt.Fprintf(w, "%-6s%18s%18s\n", "", "%CPU-energy-red.", "%instr-reduced")
+	var eRed, iRed []float64
+	for i, sc := range sw.Scenarios {
+		b, f := sw.Cells[i][bi], sw.Cells[i][fi]
+		er := 100 * (1 - f.CPUEnergyJ/b.CPUEnergyJ)
+		ir := 100 * (1 - float64(f.Instructions)/float64(b.Instructions))
+		eRed = append(eRed, er)
+		iRed = append(iRed, ir)
+		fmt.Fprintf(w, "%-6s%18.1f%18.1f\n", sc.ID, er, ir)
+	}
+	fmt.Fprintf(w, "%-6s%18.1f%18.1f\n", "AVG", mean(eRed), mean(iRed))
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "Figure 16b: Interrupts per 100ms")
+	fmt.Fprintf(w, "%-6s%14s%14s\n", "", "Baseline", "FrameBurst")
+	var bAvg, fAvg []float64
+	for i, sc := range sw.Scenarios {
+		b, f := sw.Cells[i][bi], sw.Cells[i][fi]
+		bAvg = append(bAvg, b.InterruptsP100)
+		fAvg = append(fAvg, f.InterruptsP100)
+		fmt.Fprintf(w, "%-6s%14.1f%14.1f\n", sc.ID, b.InterruptsP100, f.InterruptsP100)
+	}
+	fmt.Fprintf(w, "%-6s%14.1f%14.1f\n", "AVG", mean(bAvg), mean(fAvg))
+}

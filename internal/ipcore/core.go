@@ -1,0 +1,722 @@
+package ipcore
+
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/dram"
+	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/noc"
+	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/trace"
+)
+
+// Policy selects the lane scheduler implemented in the IP's hardware.
+type Policy int
+
+const (
+	// FCFS serves lane-0's head job to completion before the next —
+	// the conventional single-context IP.
+	FCFS Policy = iota
+	// EDF context switches between lanes at sub-frame boundaries,
+	// picking the runnable lane whose head job has the earliest
+	// deadline — the VIP hardware scheduler (paper §4.4/§5.3).
+	EDF
+	// RR rotates between lanes every RRQuantum sub-frames — the
+	// fairness-first alternative the paper alludes to when it notes
+	// that "EDF may not be suitable for ensuring fairness".
+	RR
+	// Priority always serves the lowest-numbered lane with work — a
+	// fixed-priority scheduler, included as a baseline that is simple
+	// in hardware but starves late lanes.
+	Priority
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case EDF:
+		return "EDF"
+	case RR:
+		return "RR"
+	case Priority:
+		return "Priority"
+	}
+	return "FCFS"
+}
+
+// Config describes one IP core.
+type Config struct {
+	Name string
+	Kind Kind
+
+	// ThroughputBPS is the unstalled processing rate, defined over
+	// max(input, output) bytes of a frame.
+	ThroughputBPS float64
+	// PerFrame is a fixed engine-setup overhead charged on each frame's
+	// first chunk.
+	PerFrame sim.Time
+
+	// Lanes is the number of virtual channels (1 = conventional IP,
+	// up to 4 under VIP per §5.5).
+	Lanes int
+	// LaneBufBytes is the flow-buffer capacity per lane (2 KB = 32
+	// cache lines in the paper's chosen design point).
+	LaneBufBytes int
+	// SubframeBytes is the scheduling/transfer granularity (1 KB in
+	// the paper).
+	SubframeBytes int
+
+	Policy Policy
+	// CtxSwitch is the penalty for switching the active lane.
+	CtxSwitch sim.Time
+	// SwitchPatience is how long a multi-lane scheduler tolerates the
+	// current lane being blocked before context switching away.
+	// Transient flow-buffer blocks (sub-microsecond credit round trips)
+	// resolve on their own; paying the context-switch penalty for each
+	// would thrash.
+	SwitchPatience sim.Time
+	// RRQuantum is the round-robin rotation quantum in sub-frames
+	// (only used by the RR policy). Zero means 64.
+	RRQuantum int
+
+	// MaxWrites bounds in-flight DRAM writes (write double-buffering).
+	MaxWrites int
+	// Prefetch bounds in-flight DRAM input reads beyond the chunk being
+	// computed (read double-buffering).
+	Prefetch int
+
+	// Power (watts) by activity.
+	ActiveW, StallW, IdleW float64
+
+	// Tracer, when non-nil, records the core's phase timeline and frame
+	// completions.
+	Tracer trace.Tracer
+}
+
+func (c Config) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("ipcore: config needs a name")
+	}
+	if c.ThroughputBPS <= 0 {
+		return fmt.Errorf("ipcore: %s throughput must be positive", c.Name)
+	}
+	if c.Lanes <= 0 {
+		return fmt.Errorf("ipcore: %s needs at least one lane", c.Name)
+	}
+	if c.SubframeBytes <= 0 {
+		return fmt.Errorf("ipcore: %s sub-frame size must be positive", c.Name)
+	}
+	if c.LaneBufBytes <= 0 {
+		return fmt.Errorf("ipcore: %s lane buffer must be positive", c.Name)
+	}
+	if c.MaxWrites <= 0 || c.Prefetch <= 0 {
+		return fmt.Errorf("ipcore: %s pipelining depths must be positive", c.Name)
+	}
+	return nil
+}
+
+// Phase is the core's instantaneous activity, used for time and energy
+// accounting.
+type Phase int
+
+const (
+	PhaseIdle      Phase = iota // no pending work
+	PhaseCompute                // executing a chunk
+	PhaseStallMem               // waiting on DRAM or the SA
+	PhaseStallFlow              // waiting on flow-buffer credit/data
+)
+
+// Stats aggregates a core's activity.
+type Stats struct {
+	Compute   sim.Time
+	StallMem  sim.Time
+	StallFlow sim.Time
+	Idle      sim.Time
+	Frames    uint64
+	BytesIn   uint64
+	BytesOut  uint64
+	CtxSwitch uint64
+}
+
+// ActiveTime is the time the IP spent holding a frame: computing plus
+// stalled (the quantity behind Figure 3a).
+func (s Stats) ActiveTime() sim.Time { return s.Compute + s.StallMem + s.StallFlow }
+
+// Utilization is the fraction of active time spent computing (Figure 3b).
+func (s Stats) Utilization() float64 {
+	a := s.ActiveTime()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Compute) / float64(a)
+}
+
+// Core is one IP core instance.
+type Core struct {
+	eng  *sim.Engine
+	cfg  Config
+	sa   *noc.Fabric
+	mem  *dram.Controller
+	acct *energy.Account
+	sram energy.SRAMModel
+
+	lanes []*Lane
+
+	// active is the job whose chunk is committed on the datapath
+	// (compute timer or SA output transfer in flight).
+	active      *Job
+	lastLane    *Lane
+	rrServed    int // sub-frames served on lastLane (RR quantum)
+	kickQueued  bool
+	phase       Phase
+	phaseSince  sim.Time
+	stats       Stats
+	perFrameAdj map[*Job]bool // jobs already charged PerFrame
+}
+
+// NewCore builds an IP core. It panics on invalid configuration.
+func NewCore(eng *sim.Engine, cfg Config, sa *noc.Fabric, mem *dram.Controller, acct *energy.Account, sram energy.SRAMModel) *Core {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	c := &Core{
+		eng: eng, cfg: cfg, sa: sa, mem: mem, acct: acct, sram: sram,
+		phase: PhaseIdle, perFrameAdj: make(map[*Job]bool),
+	}
+	c.lanes = make([]*Lane, cfg.Lanes)
+	for i := range c.lanes {
+		c.lanes[i] = &Lane{core: c, idx: i, capBytes: cfg.LaneBufBytes, FlowID: -1}
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Lane returns lane i.
+func (c *Core) Lane(i int) *Lane { return c.lanes[i] }
+
+// Lanes reports the number of lanes.
+func (c *Core) Lanes() int { return len(c.lanes) }
+
+// Stats returns the accumulated statistics (phase times are accrued up to
+// the last transition; call FinalizeAccounting first for exact totals).
+func (c *Core) Stats() Stats { return c.stats }
+
+// Nudge asks the core to re-run its scheduler; external components call
+// it when a condition the core is waiting on may have changed.
+func (c *Core) Nudge() { c.kick() }
+
+// Ungate releases a gated job and reschedules the core.
+func (c *Core) Ungate(j *Job) {
+	j.Gated = false
+	c.kick()
+}
+
+// Submit queues a job on lane laneIdx and nudges the scheduler.
+func (c *Core) Submit(laneIdx int, j *Job) error {
+	if err := j.Validate(); err != nil {
+		return err
+	}
+	if laneIdx < 0 || laneIdx >= len(c.lanes) {
+		return fmt.Errorf("ipcore: %s has no lane %d", c.cfg.Name, laneIdx)
+	}
+	sub := c.effectiveSubframe(j)
+	j.chunks = (j.basis() + sub - 1) / sub
+	if j.chunks < 1 {
+		j.chunks = 1
+	}
+	j.lane = c.lanes[laneIdx]
+	j.blockedAt = -1
+	j.lane.jobs = append(j.lane.jobs, j)
+	c.kick()
+	return nil
+}
+
+// effectiveSubframe bounds the chunk size by the flow buffers the job
+// touches: a transfer can never exceed the buffer that must hold it.
+func (c *Core) effectiveSubframe(j *Job) int {
+	sub := c.cfg.SubframeBytes
+	if !j.InFromDRAM && j.InBytes > 0 && c.cfg.LaneBufBytes < sub {
+		sub = c.cfg.LaneBufBytes
+	}
+	if j.OutLane != nil && j.OutLane.capBytes < sub {
+		sub = j.OutLane.capBytes
+	}
+	return sub
+}
+
+// kick schedules a dispatch pass; multiple kicks coalesce.
+func (c *Core) kick() {
+	if c.kickQueued || c.active != nil {
+		return
+	}
+	c.kickQueued = true
+	c.eng.After(0, func() {
+		c.kickQueued = false
+		c.dispatch()
+	})
+}
+
+// setPhase accrues time in the current phase and switches to p.
+func (c *Core) setPhase(p Phase) {
+	now := c.eng.Now()
+	d := now - c.phaseSince
+	if d > 0 && c.cfg.Tracer != nil && c.phase != PhaseIdle {
+		c.cfg.Tracer.Span(c.cfg.Name, phaseTraceName(c.phase), c.phaseSince, now)
+	}
+	if d > 0 {
+		switch c.phase {
+		case PhaseCompute:
+			c.stats.Compute += d
+			c.acct.AddPower(energy.IPActive, c.cfg.ActiveW, d)
+		case PhaseStallMem:
+			c.stats.StallMem += d
+			c.acct.AddPower(energy.IPStall, c.cfg.StallW, d)
+		case PhaseStallFlow:
+			// Waiting on flow-buffer credit/data: the engine clock
+			// gates, unlike a mid-transaction memory stall.
+			c.stats.StallFlow += d
+			c.acct.AddPower(energy.IPStall, c.cfg.IdleW, d)
+		case PhaseIdle:
+			c.stats.Idle += d
+			c.acct.AddPower(energy.IPIdle, c.cfg.IdleW, d)
+		}
+	}
+	c.phase = p
+	c.phaseSince = now
+}
+
+// phaseTraceName is the label recorded for a phase span.
+func phaseTraceName(p Phase) string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseStallMem:
+		return "memstall"
+	case PhaseStallFlow:
+		return "flowstall"
+	}
+	return "idle"
+}
+
+// FinalizeAccounting accrues the open phase up to now; call at the end of
+// a simulation before reading stats or energy.
+func (c *Core) FinalizeAccounting() { c.setPhase(c.phase) }
+
+// chargeBufferAccess charges CACTI-modelled flow-buffer energy for an
+// n-byte access (per 64 B line), write or read.
+func (c *Core) chargeBufferAccess(n int, write bool) {
+	lines := (n + 63) / 64
+	var per float64
+	if write {
+		per = c.sram.WriteEnergyJ(c.cfg.LaneBufBytes)
+	} else {
+		per = c.sram.ReadEnergyJ(c.cfg.LaneBufBytes)
+	}
+	c.acct.Add(energy.FlowBuffer, per*float64(lines))
+}
+
+// runnable reports whether j can make progress right now.
+func (c *Core) runnable(j *Job) bool {
+	if j.done {
+		return false
+	}
+	if j.Gated {
+		return false
+	}
+	if !j.started && j.NotBefore > c.eng.Now() {
+		return false
+	}
+	if j.emitted < j.computed {
+		// Next action: emit chunk j.emitted.
+		switch {
+		case j.OutToDRAM:
+			return j.writesOut < c.cfg.MaxWrites
+		case j.OutLane != nil:
+			if j.OutConsumer != nil && j.OutLane.head() != j.OutConsumer {
+				return false // shared lane owned by another chain (HOL)
+			}
+			return j.OutLane.free() >= j.outChunk(j.emitted)
+		default:
+			return true
+		}
+	}
+	if j.computed < j.chunks {
+		// Next action: compute chunk j.computed.
+		switch {
+		case j.InBytes == 0:
+			return true // pure source
+		case j.InFromDRAM:
+			return j.inReady > j.computed
+		default:
+			return j.inLatched >= j.inChunk(j.computed)
+		}
+	}
+	return false // only retiring DRAM writes remain
+}
+
+// drainLane moves available flow-buffer bytes into the job's input latch
+// (the IP's internal pipeline registers), freeing buffer credit for the
+// producer. Without this, a producer whose sub-frame granularity does not
+// divide the consumer's could never fill the consumer's chunk.
+func (c *Core) drainLane(j *Job) {
+	if j.InFromDRAM || j.InBytes == 0 || j.computed >= j.chunks {
+		return
+	}
+	need := j.inChunk(j.computed) - j.inLatched
+	if need <= 0 {
+		return
+	}
+	take := need
+	if take > j.lane.used {
+		take = j.lane.used
+	}
+	if take > 0 {
+		j.lane.consume(take)
+		j.inLatched += take
+	}
+}
+
+// issueReads tops up DRAM input prefetches for j.
+func (c *Core) issueReads(j *Job) {
+	if !j.InFromDRAM {
+		return
+	}
+	limit := j.computed + c.cfg.Prefetch
+	if limit > j.chunks {
+		limit = j.chunks
+	}
+	for j.inIssued < limit {
+		k := j.inIssued
+		j.inIssued++
+		c.mem.Submit(&dram.Request{
+			Addr:  j.InAddr + uint64(j.inOffset(k)),
+			Bytes: j.inChunk(k),
+			OnDone: func() {
+				j.inReady++
+				j.lane.core.kick()
+			},
+		})
+	}
+}
+
+// runnableHeads collects the runnable head job of every lane, updating
+// prefetch, latch and blocked-since bookkeeping along the way.
+func (c *Core) runnableHeads() []*Job {
+	var out []*Job
+	for _, l := range c.lanes {
+		j := l.head()
+		if j == nil {
+			continue
+		}
+		c.issueReads(j)
+		c.drainLane(j)
+		if !c.runnable(j) {
+			if j.blockedAt < 0 {
+				j.blockedAt = c.eng.Now()
+			}
+			continue
+		}
+		j.blockedAt = -1
+		out = append(out, j)
+	}
+	return out
+}
+
+// holdForCurrentLane applies lane stickiness: if the current lane's job
+// is merely transiently blocked, hold the datapath rather than paying a
+// context switch that will immediately bounce back. It reports whether
+// the scheduler should wait.
+func (c *Core) holdForCurrentLane(best *Job) bool {
+	if best == nil || c.lastLane == nil || best.lane == c.lastLane || c.cfg.SwitchPatience <= 0 {
+		return false
+	}
+	cur := c.lastLane.head()
+	if cur == nil || c.runnable(cur) {
+		return false
+	}
+	waited := c.eng.Now() - cur.blockedAt
+	if cur.blockedAt >= 0 && waited < c.cfg.SwitchPatience {
+		c.eng.At(cur.blockedAt+c.cfg.SwitchPatience, func() { c.kick() })
+		return true
+	}
+	return false
+}
+
+// pick selects the next job to run per the configured policy, or nil.
+func (c *Core) pick() *Job {
+	switch c.cfg.Policy {
+	case EDF:
+		var best *Job
+		for _, j := range c.runnableHeads() {
+			if best == nil || j.Deadline < best.Deadline {
+				best = j
+			}
+		}
+		if c.holdForCurrentLane(best) {
+			return nil
+		}
+		return best
+	case Priority:
+		var best *Job
+		for _, j := range c.runnableHeads() {
+			if best == nil || j.lane.idx < best.lane.idx {
+				best = j
+			}
+		}
+		if c.holdForCurrentLane(best) {
+			return nil
+		}
+		return best
+	case RR:
+		heads := c.runnableHeads()
+		if len(heads) == 0 {
+			return nil
+		}
+		quantum := c.cfg.RRQuantum
+		if quantum <= 0 {
+			quantum = 64
+		}
+		// Stay on the current lane until its quantum expires.
+		if c.lastLane != nil && c.rrServed < quantum {
+			for _, j := range heads {
+				if j.lane == c.lastLane {
+					return j
+				}
+			}
+		}
+		// Rotate: the next runnable lane after the current one.
+		lastIdx := -1
+		if c.lastLane != nil {
+			lastIdx = c.lastLane.idx
+		}
+		var best *Job
+		bestKey := 1 << 30
+		n := len(c.lanes)
+		for _, j := range heads {
+			key := (j.lane.idx - lastIdx - 1 + 2*n) % n
+			if j.lane.idx == lastIdx {
+				key = n // own lane last
+			}
+			if key < bestKey {
+				bestKey = key
+				best = j
+			}
+		}
+		if c.holdForCurrentLane(best) {
+			return nil
+		}
+		return best
+	default: // FCFS: in-order service of the timed descriptor queue.
+		for _, l := range c.lanes {
+			for _, j := range l.jobs {
+				if j.done {
+					continue
+				}
+				if !j.started && j.NotBefore > c.eng.Now() && !j.Gated {
+					// Not yet due (presentationTime pacing): the
+					// descriptor queue moves past it. Same-flow order is
+					// safe because a flow's due times are monotone.
+					continue
+				}
+				c.issueReads(j)
+				c.drainLane(j)
+				if c.runnable(j) {
+					return j
+				}
+				// Single-context hardware: an in-progress or
+				// data-dependent head blocks the IP.
+				return nil
+			}
+		}
+		return nil
+	}
+}
+
+// pendingKind classifies why the core is blocked, for stall accounting.
+func (c *Core) pendingKind() Phase {
+	any := false
+	for _, l := range c.lanes {
+		j := l.head()
+		if j == nil {
+			continue
+		}
+		if j.Gated || (!j.started && j.NotBefore > c.eng.Now()) {
+			continue // not yet due: waiting is idleness, not a stall
+		}
+		any = true
+		if j.InFromDRAM || j.OutToDRAM {
+			return PhaseStallMem
+		}
+	}
+	if any {
+		return PhaseStallFlow
+	}
+	return PhaseIdle
+}
+
+// dispatch runs the scheduler: pick a job and execute its next chunk.
+func (c *Core) dispatch() {
+	if c.active != nil {
+		return
+	}
+	j := c.pick()
+	if j == nil {
+		// Register space wake-ups for any head job parked on downstream
+		// flow-buffer credit, so the next consume reschedules us.
+		for _, l := range c.lanes {
+			h := l.head()
+			if h == nil {
+				continue
+			}
+			if h.emitted < h.computed && h.OutLane != nil && !h.spaceWait {
+				h.spaceWait = true
+				hh := h
+				h.OutLane.waitForSpace(func() {
+					hh.spaceWait = false
+					c.kick()
+				})
+			}
+			if !h.started && h.NotBefore > c.eng.Now() && !h.timerSet {
+				h.timerSet = true
+				c.eng.At(h.NotBefore, func() { c.kick() })
+			}
+		}
+		c.setPhase(c.pendingKind())
+		return
+	}
+	c.active = j
+	if j.lane == c.lastLane {
+		c.rrServed++
+	} else {
+		c.rrServed = 0
+	}
+	if !j.started {
+		j.started = true
+		j.startedAt = c.eng.Now()
+	}
+	if c.lastLane != nil && c.lastLane != j.lane && c.cfg.CtxSwitch > 0 {
+		// Lane context switch: save/restore the request context.
+		c.stats.CtxSwitch++
+		c.lastLane = j.lane
+		c.setPhase(PhaseCompute)
+		c.eng.After(c.cfg.CtxSwitch, func() { c.step(j) })
+		return
+	}
+	c.lastLane = j.lane
+	c.step(j)
+}
+
+// step performs j's next action (emit pending output, else compute).
+func (c *Core) step(j *Job) {
+	if j.emitted < j.computed {
+		c.emit(j)
+		return
+	}
+	c.compute(j)
+}
+
+// compute consumes chunk input and runs the datapath for the chunk time.
+func (c *Core) compute(j *Job) {
+	k := j.computed
+	if j.InBytes > 0 && !j.InFromDRAM {
+		// The chunk's input was drained into the latch by the scheduler.
+		j.inLatched -= j.inChunk(k)
+	}
+	c.stats.BytesIn += uint64(j.inChunk(k))
+	d := sim.BytesOver(int64(j.basisChunk(k)), c.cfg.ThroughputBPS)
+	if j.ComputeScale > 0 {
+		d = sim.Time(float64(d) * j.ComputeScale)
+	}
+	if !c.perFrameAdj[j] {
+		c.perFrameAdj[j] = true
+		d += c.cfg.PerFrame
+	}
+	c.issueReads(j) // keep the prefetcher ahead while computing
+	c.setPhase(PhaseCompute)
+	c.eng.After(d, func() {
+		j.computed++
+		c.emit(j)
+	})
+}
+
+// emit hands chunk j.emitted to its output path.
+func (c *Core) emit(j *Job) {
+	k := j.emitted
+	out := j.outChunk(k)
+	switch {
+	case j.OutToDRAM:
+		if j.writesOut >= c.cfg.MaxWrites {
+			// Park until a write retires; the core may serve others.
+			c.active = nil
+			c.dispatch()
+			return
+		}
+		j.writesOut++
+		j.emitted++
+		c.stats.BytesOut += uint64(out)
+		addr := j.OutAddr + uint64(j.outOffset(k))
+		c.mem.Submit(&dram.Request{Addr: addr, Bytes: out, Write: true, OnDone: func() {
+			j.writesOut--
+			j.writesDone++
+			c.maybeComplete(j)
+			c.kick()
+		}})
+		c.chunkDone(j)
+	case j.OutLane != nil:
+		if j.OutLane.free() < out ||
+			(j.OutConsumer != nil && j.OutLane.head() != j.OutConsumer) {
+			// Parked; dispatch registers the space wake-up.
+			c.active = nil
+			c.dispatch()
+			return
+		}
+		j.OutLane.reserve(out)
+		c.setPhase(PhaseStallMem) // SA transfer occupies the producer
+		c.sa.Transfer(out, func() {
+			j.OutLane.depositReserved(out)
+			j.OutLane.core.kick()
+			j.emitted++
+			c.stats.BytesOut += uint64(out)
+			c.chunkDone(j)
+		})
+	default: // sink: output vanishes into the device
+		j.emitted++
+		c.stats.BytesOut += uint64(out)
+		c.chunkDone(j)
+	}
+}
+
+// chunkDone releases the datapath and reschedules.
+func (c *Core) chunkDone(j *Job) {
+	c.active = nil
+	c.maybeComplete(j)
+	c.dispatch()
+}
+
+// maybeComplete retires j once compute, emission and DRAM writes are all
+// finished.
+func (c *Core) maybeComplete(j *Job) {
+	if j.done || j.computed < j.chunks || j.emitted < j.chunks {
+		return
+	}
+	if j.OutToDRAM && j.writesDone < j.chunks {
+		return
+	}
+	j.done = true
+	j.finishedAt = c.eng.Now()
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Mark(c.cfg.Name, j.Label, c.eng.Now())
+	}
+	c.stats.Frames++
+	delete(c.perFrameAdj, j)
+	if j.lane != nil {
+		// The lane head advances: wake producers blocked on chain
+		// ownership of this lane.
+		j.lane.notifyWaiters()
+	}
+	if j.OnDone != nil {
+		j.OnDone()
+	}
+}

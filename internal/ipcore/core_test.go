@@ -1,0 +1,788 @@
+package ipcore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/vipsim/vip/internal/dram"
+	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/noc"
+	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/trace"
+)
+
+// rig bundles the substrate a core needs.
+type rig struct {
+	eng  *sim.Engine
+	sa   *noc.Fabric
+	mem  *dram.Controller
+	acct *energy.Account
+}
+
+func newRig() *rig {
+	eng := sim.NewEngine()
+	acct := &energy.Account{}
+	// Refresh ticks make generous Run horizons expensive; the DRAM
+	// package tests cover refresh behaviour.
+	mcfg := dram.DefaultConfig()
+	mcfg.TREFI = 0
+	return &rig{
+		eng:  eng,
+		sa:   noc.NewFabric(eng, noc.DefaultConfig(), acct),
+		mem:  dram.NewController(eng, mcfg, acct),
+		acct: acct,
+	}
+}
+
+func testConfig(name string) Config {
+	return Config{
+		Name:          name,
+		Kind:          VD,
+		ThroughputBPS: 1e9, // 1 GB/s -> 1us per KB
+		Lanes:         1,
+		LaneBufBytes:  2 << 10,
+		SubframeBytes: 1 << 10,
+		Policy:        FCFS,
+		MaxWrites:     2,
+		Prefetch:      2,
+		ActiveW:       0.2,
+		StallW:        0.07,
+		IdleW:         0.005,
+	}
+}
+
+func (r *rig) newCore(cfg Config) *Core {
+	return NewCore(r.eng, cfg, r.sa, r.mem, r.acct, energy.DefaultSRAM())
+}
+
+func TestKindStrings(t *testing.T) {
+	if VD.String() != "VD" || GPU.String() != "GPU" || MMC.String() != "MMC" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() != "IP?" {
+		t.Error("out-of-range kind should render IP?")
+	}
+}
+
+func TestKindSourceSink(t *testing.T) {
+	if !CAM.IsSource() || !MIC.IsSource() {
+		t.Error("CAM/MIC are sources")
+	}
+	if VD.IsSource() {
+		t.Error("VD is not a source")
+	}
+	for _, k := range []Kind{SND, NW, MMC, DC} {
+		if !k.IsSink() {
+			t.Errorf("%v should be a sink", k)
+		}
+	}
+	if GPU.IsSink() {
+		t.Error("GPU is not a sink")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Name = "" },
+		func(c *Config) { c.ThroughputBPS = 0 },
+		func(c *Config) { c.Lanes = 0 },
+		func(c *Config) { c.SubframeBytes = 0 },
+		func(c *Config) { c.LaneBufBytes = 0 },
+		func(c *Config) { c.MaxWrites = 0 },
+		func(c *Config) { c.Prefetch = 0 },
+	}
+	for i, mut := range bad {
+		cfg := testConfig("x")
+		mut(&cfg)
+		if err := cfg.validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	cases := []struct {
+		j  Job
+		ok bool
+	}{
+		{Job{InBytes: 100, OutBytes: 100}, true},
+		{Job{InBytes: -1, OutBytes: 100}, false},
+		{Job{}, false},
+		{Job{InFromDRAM: true, OutBytes: 10}, false},
+		{Job{InBytes: 10, OutBytes: 10, OutToDRAM: true, OutLane: &Lane{}}, false},
+		{Job{InBytes: 10, OutToDRAM: true}, false},
+	}
+	for i, c := range cases {
+		err := c.j.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: err=%v, ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestChunkPartitioning(t *testing.T) {
+	j := &Job{InBytes: 1000, OutBytes: 3000, chunks: 7}
+	var in, out, basis int
+	for k := 0; k < 7; k++ {
+		in += j.inChunk(k)
+		out += j.outChunk(k)
+		basis += j.basisChunk(k)
+	}
+	if in != 1000 || out != 3000 || basis != 3000 {
+		t.Errorf("chunk sums = %d/%d/%d, want 1000/3000/3000", in, out, basis)
+	}
+}
+
+// Property: chunk partitions always sum exactly and every chunk is
+// non-negative, for arbitrary sizes and chunk counts.
+func TestChunkPartitionProperty(t *testing.T) {
+	f := func(in, out uint16, kRaw uint8) bool {
+		k := int(kRaw%31) + 1
+		j := &Job{InBytes: int(in), OutBytes: int(out), chunks: k}
+		var si, so int
+		for c := 0; c < k; c++ {
+			ic, oc := j.inChunk(c), j.outChunk(c)
+			if ic < 0 || oc < 0 {
+				return false
+			}
+			si += ic
+			so += oc
+		}
+		return si == int(in) && so == int(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimpleDRAMToDRAMJob(t *testing.T) {
+	r := newRig()
+	c := r.newCore(testConfig("vd"))
+	done := sim.Time(-1)
+	j := &Job{
+		Label: "f0", InBytes: 64 << 10, OutBytes: 64 << 10,
+		InFromDRAM: true, InAddr: 0, OutToDRAM: true, OutAddr: 1 << 20,
+		OnDone: func() { done = r.eng.Now() },
+	}
+	if err := c.Submit(0, j); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if done < 0 {
+		t.Fatal("job never completed")
+	}
+	// Compute alone: 64KB at 1GB/s = 65.5us. With overlapped memory it
+	// should finish within ~3x of that.
+	if done > 200*sim.Microsecond {
+		t.Errorf("completion %v seems too slow", done)
+	}
+	if !j.Done() || j.FinishedAt() != done {
+		t.Error("job state not finalized")
+	}
+	st := c.Stats()
+	if st.Frames != 1 {
+		t.Errorf("Frames = %d, want 1", st.Frames)
+	}
+	if st.BytesIn != 64<<10 || st.BytesOut != 64<<10 {
+		t.Errorf("bytes in/out = %d/%d", st.BytesIn, st.BytesOut)
+	}
+}
+
+func TestSourceJobNeedsNoInput(t *testing.T) {
+	r := newRig()
+	cfg := testConfig("cam")
+	cfg.Kind = CAM
+	c := r.newCore(cfg)
+	fired := false
+	j := &Job{Label: "cap", OutBytes: 16 << 10, OutToDRAM: true, OnDone: func() { fired = true }}
+	if err := c.Submit(0, j); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if !fired {
+		t.Fatal("source job did not complete")
+	}
+}
+
+func TestSinkJobConsumesFromDRAM(t *testing.T) {
+	r := newRig()
+	cfg := testConfig("dc")
+	cfg.Kind = DC
+	c := r.newCore(cfg)
+	fired := false
+	j := &Job{Label: "scan", InBytes: 32 << 10, InFromDRAM: true, OnDone: func() { fired = true }}
+	if err := c.Submit(0, j); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if !fired {
+		t.Fatal("sink job did not complete")
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	r := newRig()
+	c := r.newCore(testConfig("vd"))
+	if err := c.Submit(0, &Job{}); err == nil {
+		t.Error("invalid job accepted")
+	}
+	if err := c.Submit(5, &Job{InBytes: 10, OutBytes: 10}); err == nil {
+		t.Error("bad lane accepted")
+	}
+}
+
+func TestTwoStageChain(t *testing.T) {
+	r := newRig()
+	prod := r.newCore(testConfig("vd"))
+	cons := r.newCore(testConfig("dc"))
+
+	var prodDone, consDone sim.Time
+	consJob := &Job{
+		Label: "dc/f0", FlowID: 1, InBytes: 64 << 10,
+		OnDone: func() { consDone = r.eng.Now() },
+	}
+	if err := cons.Submit(0, consJob); err != nil {
+		t.Fatal(err)
+	}
+	prodJob := &Job{
+		Label: "vd/f0", FlowID: 1, InBytes: 8 << 10, OutBytes: 64 << 10,
+		InFromDRAM: true, OutLane: cons.Lane(0),
+		OnDone: func() { prodDone = r.eng.Now() },
+	}
+	if err := prod.Submit(0, prodJob); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if prodDone == 0 || consDone == 0 {
+		t.Fatalf("chain stalled: prod=%v cons=%v", prodDone, consDone)
+	}
+	if consDone < prodDone {
+		t.Errorf("consumer finished before producer: %v < %v", consDone, prodDone)
+	}
+	// Pipelined: total should be far less than the sum of both stages
+	// run serially through memory (~65us each + memory).
+	if consDone > 250*sim.Microsecond {
+		t.Errorf("chain took %v, expected pipelined overlap", consDone)
+	}
+	// No DRAM traffic for the intermediate data: only the 8KB input.
+	if got := r.mem.Stats().BytesMoved; got > 9<<10 {
+		t.Errorf("DRAM moved %d bytes; chain should bypass memory", got)
+	}
+}
+
+func TestChainBackpressure(t *testing.T) {
+	// A slow consumer must throttle the producer through the 2KB lane.
+	r := newRig()
+	pCfg := testConfig("fast")
+	pCfg.ThroughputBPS = 10e9
+	prod := r.newCore(pCfg)
+	cCfg := testConfig("slow")
+	cCfg.ThroughputBPS = 0.1e9
+	cons := r.newCore(cCfg)
+
+	var consDone sim.Time
+	cj := &Job{Label: "c", InBytes: 64 << 10, OnDone: func() { consDone = r.eng.Now() }}
+	if err := cons.Submit(0, cj); err != nil {
+		t.Fatal(err)
+	}
+	pj := &Job{Label: "p", OutBytes: 64 << 10, OutLane: cons.Lane(0)}
+	if err := prod.Submit(0, pj); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(10 * sim.Second)
+	if consDone == 0 {
+		t.Fatal("chain deadlocked under backpressure")
+	}
+	// Consumer rate dominates: 64KB at 0.1 GB/s = 655us.
+	if consDone < 600*sim.Microsecond {
+		t.Errorf("completed at %v, faster than the slow consumer allows", consDone)
+	}
+	prod.FinalizeAccounting()
+	if prod.Stats().StallFlow == 0 {
+		t.Error("fast producer should have accumulated flow stalls")
+	}
+	// Buffer occupancy may never exceed the lane capacity.
+	if cons.Lane(0).maxUsed > cons.Lane(0).Capacity() {
+		t.Errorf("lane overflow: used %d of %d", cons.Lane(0).maxUsed, cons.Lane(0).Capacity())
+	}
+}
+
+func TestFCFSServesInOrder(t *testing.T) {
+	r := newRig()
+	c := r.newCore(testConfig("vd"))
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		j := &Job{Label: name, InBytes: 4 << 10, OutBytes: 4 << 10, InFromDRAM: true, OutToDRAM: true,
+			OnDone: func() { order = append(order, name) }}
+		if err := c.Submit(0, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run(sim.Second)
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEDFPrefersEarlierDeadline(t *testing.T) {
+	r := newRig()
+	cfg := testConfig("vd")
+	cfg.Lanes = 2
+	cfg.Policy = EDF
+	c := r.newCore(cfg)
+	var order []string
+	mk := func(name string, dl sim.Time) *Job {
+		return &Job{Label: name, InBytes: 16 << 10, OutBytes: 16 << 10,
+			InFromDRAM: true, OutToDRAM: true, Deadline: dl,
+			OnDone: func() { order = append(order, name) }}
+	}
+	// Submit the late-deadline job first; EDF should still finish the
+	// early-deadline one first.
+	if err := c.Submit(0, mk("late", 100*sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, mk("early", 1*sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if len(order) != 2 || order[0] != "early" {
+		t.Errorf("order = %v, want early first", order)
+	}
+}
+
+func TestEDFInterleavesAtSubframes(t *testing.T) {
+	// Two equal flows on two lanes: EDF with advancing deadlines should
+	// context switch rather than run one to completion.
+	r := newRig()
+	cfg := testConfig("vd")
+	cfg.Lanes = 2
+	cfg.Policy = EDF
+	cfg.CtxSwitch = 100 * sim.Nanosecond
+	c := r.newCore(cfg)
+	var first, second sim.Time
+	j0 := &Job{Label: "f0", InBytes: 32 << 10, OutBytes: 32 << 10, InFromDRAM: true, OutToDRAM: true,
+		Deadline: 1 * sim.Millisecond, OnDone: func() { first = r.eng.Now() }}
+	j1 := &Job{Label: "f1", InBytes: 32 << 10, OutBytes: 32 << 10, InFromDRAM: true, OutToDRAM: true,
+		Deadline: 1*sim.Millisecond + 1, OnDone: func() { second = r.eng.Now() }}
+	if err := c.Submit(0, j0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, j1); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if first == 0 || second == 0 {
+		t.Fatal("jobs did not finish")
+	}
+	if c.Stats().CtxSwitch == 0 {
+		t.Error("EDF with two lanes should context switch")
+	}
+}
+
+func TestFCFSSingleContextBlocksOnHead(t *testing.T) {
+	// FCFS head blocked on flow-buffer data must not let a later job
+	// overtake it (single hardware context).
+	r := newRig()
+	c := r.newCore(testConfig("vd"))
+	var order []string
+	blocked := &Job{Label: "blocked", InBytes: 16 << 10, OutBytes: 16 << 10, OutToDRAM: true,
+		OnDone: func() { order = append(order, "blocked") }}
+	ready := &Job{Label: "ready", InBytes: 4 << 10, OutBytes: 4 << 10, InFromDRAM: true, OutToDRAM: true,
+		OnDone: func() { order = append(order, "ready") }}
+	if err := c.Submit(0, blocked); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(0, ready); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the blocked job's lane after 1ms.
+	feeder := r.newCore(testConfig("feeder"))
+	fj := &Job{Label: "feed", OutBytes: 16 << 10, OutLane: c.Lane(0)}
+	r.eng.At(sim.Millisecond, func() {
+		if err := feeder.Submit(0, fj); err != nil {
+			t.Error(err)
+		}
+	})
+	r.eng.Run(sim.Second)
+	if len(order) != 2 || order[0] != "blocked" {
+		t.Errorf("order = %v; FCFS must not reorder past a blocked head", order)
+	}
+}
+
+func TestPerFrameOverheadCharged(t *testing.T) {
+	run := func(perFrame sim.Time) sim.Time {
+		r := newRig()
+		cfg := testConfig("vd")
+		cfg.PerFrame = perFrame
+		c := r.newCore(cfg)
+		var done sim.Time
+		j := &Job{Label: "f", InBytes: 4 << 10, OutBytes: 4 << 10, InFromDRAM: true, OutToDRAM: true,
+			OnDone: func() { done = r.eng.Now() }}
+		if err := c.Submit(0, j); err != nil {
+			t.Fatal(err)
+		}
+		r.eng.Run(sim.Second)
+		return done
+	}
+	base := run(0)
+	withOverhead := run(500 * sim.Microsecond)
+	if withOverhead-base < 400*sim.Microsecond {
+		t.Errorf("per-frame overhead not visible: %v vs %v", base, withOverhead)
+	}
+}
+
+func TestUtilizationDropsWithMemoryContention(t *testing.T) {
+	// One core alone vs. the same core with a bandwidth hog: utilization
+	// (compute / active) should drop under contention (Figure 3b).
+	util := func(withHog bool) float64 {
+		r := newRig()
+		c := r.newCore(testConfig("vd"))
+		var pump func(i int)
+		pump = func(i int) {
+			j := &Job{Label: "f", InBytes: 256 << 10, OutBytes: 256 << 10,
+				InFromDRAM: true, InAddr: uint64(i * (1 << 20)), OutToDRAM: true, OutAddr: uint64(i*(1<<20) + (512 << 10)),
+				OnDone: func() { pump(i + 1) }}
+			if c.Submit(0, j) != nil {
+				t.Error("submit failed")
+			}
+		}
+		pump(0)
+		if withHog {
+			// Saturate DRAM with an external stream.
+			var hog func(addr uint64)
+			hog = func(addr uint64) {
+				r.mem.Submit(&dram.Request{Addr: addr, Bytes: 8 << 10, OnDone: func() {
+					hog(addr + 8<<10)
+				}})
+			}
+			for i := 0; i < 16; i++ {
+				hog(uint64(0x4000000 + i*(64<<10)))
+			}
+		}
+		r.eng.Run(20 * sim.Millisecond)
+		c.FinalizeAccounting()
+		return c.Stats().Utilization()
+	}
+	alone := util(false)
+	contended := util(true)
+	if alone < 0.5 {
+		t.Errorf("uncontended utilization %v too low", alone)
+	}
+	if contended >= alone {
+		t.Errorf("contention should reduce utilization: alone=%v contended=%v", alone, contended)
+	}
+}
+
+func TestEnergyAccrual(t *testing.T) {
+	r := newRig()
+	c := r.newCore(testConfig("vd"))
+	j := &Job{Label: "f", InBytes: 64 << 10, OutBytes: 64 << 10, InFromDRAM: true, OutToDRAM: true}
+	if err := c.Submit(0, j); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(10 * sim.Millisecond)
+	c.FinalizeAccounting()
+	if r.acct.Get(energy.IPActive) <= 0 {
+		t.Error("active energy should accrue")
+	}
+	if r.acct.Get(energy.IPIdle) <= 0 {
+		t.Error("idle energy should accrue after the job finishes")
+	}
+}
+
+func TestFlowBufferEnergyCharged(t *testing.T) {
+	r := newRig()
+	prod := r.newCore(testConfig("p"))
+	cons := r.newCore(testConfig("c"))
+	cj := &Job{Label: "c", InBytes: 16 << 10}
+	if err := cons.Submit(0, cj); err != nil {
+		t.Fatal(err)
+	}
+	pj := &Job{Label: "p", OutBytes: 16 << 10, OutLane: cons.Lane(0)}
+	if err := prod.Submit(0, pj); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if r.acct.Get(energy.FlowBuffer) <= 0 {
+		t.Error("flow-buffer energy should be charged on lane traffic")
+	}
+}
+
+func TestStatsActiveTimeAndUtilization(t *testing.T) {
+	s := Stats{Compute: 60, StallMem: 30, StallFlow: 10}
+	if s.ActiveTime() != 100 {
+		t.Errorf("ActiveTime = %v", s.ActiveTime())
+	}
+	if s.Utilization() != 0.6 {
+		t.Errorf("Utilization = %v", s.Utilization())
+	}
+	var zero Stats
+	if zero.Utilization() != 0 {
+		t.Error("zero stats utilization should be 0")
+	}
+}
+
+func TestSmallBufferSlowerThanLarge(t *testing.T) {
+	// Figure 14a: shrinking the per-lane buffer below the sub-frame size
+	// lengthens the flow time.
+	flowTime := func(buf int) sim.Time {
+		r := newRig()
+		pCfg := testConfig("p")
+		pCfg.LaneBufBytes = buf
+		cCfg := testConfig("c")
+		cCfg.LaneBufBytes = buf
+		prod := r.newCore(pCfg)
+		cons := r.newCore(cCfg)
+		var done sim.Time
+		cj := &Job{Label: "c", InBytes: 256 << 10, OnDone: func() { done = r.eng.Now() }}
+		if err := cons.Submit(0, cj); err != nil {
+			t.Fatal(err)
+		}
+		pj := &Job{Label: "p", InBytes: 16 << 10, InFromDRAM: true, OutBytes: 256 << 10, OutLane: cons.Lane(0)}
+		if err := prod.Submit(0, pj); err != nil {
+			t.Fatal(err)
+		}
+		r.eng.Run(10 * sim.Second)
+		if done == 0 {
+			t.Fatalf("buffer %d deadlocked", buf)
+		}
+		return done
+	}
+	small := flowTime(512)
+	large := flowTime(8 << 10)
+	if small <= large {
+		t.Errorf("small buffer (%v) should be slower than large (%v)", small, large)
+	}
+}
+
+func TestLaneAccessors(t *testing.T) {
+	r := newRig()
+	c := r.newCore(testConfig("vd"))
+	l := c.Lane(0)
+	if l.Index() != 0 || l.Capacity() != 2<<10 || l.Used() != 0 || l.QueueLen() != 0 {
+		t.Error("fresh lane accessors wrong")
+	}
+	if c.Lanes() != 1 {
+		t.Errorf("Lanes = %d", c.Lanes())
+	}
+	if c.Config().Name != "vd" {
+		t.Error("Config accessor wrong")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FCFS.String() != "FCFS" || EDF.String() != "EDF" {
+		t.Error("policy names wrong")
+	}
+}
+
+// Property: any single DRAM-to-DRAM job completes, moves exactly its
+// bytes, and finishes no earlier than its pure compute time.
+func TestJobCompletionProperty(t *testing.T) {
+	f := func(inRaw, outRaw uint16) bool {
+		in := int(inRaw)%(128<<10) + 1
+		out := int(outRaw)%(128<<10) + 1
+		r := newRig()
+		c := r.newCore(testConfig("vd"))
+		var done sim.Time = -1
+		j := &Job{Label: "f", InBytes: in, OutBytes: out, InFromDRAM: true, OutToDRAM: true,
+			OnDone: func() { done = r.eng.Now() }}
+		if err := c.Submit(0, j); err != nil {
+			return false
+		}
+		r.eng.Run(10 * sim.Second)
+		if done < 0 {
+			return false
+		}
+		basis := in
+		if out > basis {
+			basis = out
+		}
+		minCompute := sim.BytesOver(int64(basis), c.Config().ThroughputBPS)
+		return done >= minCompute &&
+			c.Stats().BytesIn == uint64(in) && c.Stats().BytesOut == uint64(out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: chained transfer conserves bytes for arbitrary frame sizes.
+func TestChainConservationProperty(t *testing.T) {
+	f := func(sizeRaw uint16) bool {
+		size := int(sizeRaw)%(64<<10) + 1
+		r := newRig()
+		prod := r.newCore(testConfig("p"))
+		cons := r.newCore(testConfig("c"))
+		okC := false
+		cj := &Job{Label: "c", InBytes: size, OnDone: func() { okC = true }}
+		if cons.Submit(0, cj) != nil {
+			return false
+		}
+		pj := &Job{Label: "p", OutBytes: size, OutLane: cons.Lane(0)}
+		if prod.Submit(0, pj) != nil {
+			return false
+		}
+		r.eng.Run(10 * sim.Second)
+		return okC && cons.Stats().BytesIn == uint64(size) && prod.Stats().BytesOut == uint64(size) &&
+			cons.Lane(0).Used() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNotBeforePacesSource(t *testing.T) {
+	r := newRig()
+	cfg := testConfig("cam")
+	cfg.Kind = CAM
+	cfg.ThroughputBPS = 100e9 // effectively instant compute
+	c := r.newCore(cfg)
+	var done sim.Time
+	j := &Job{Label: "cap", OutBytes: 4 << 10, OutToDRAM: true,
+		NotBefore: 5 * sim.Millisecond,
+		OnDone:    func() { done = r.eng.Now() }}
+	if err := c.Submit(0, j); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if done < 5*sim.Millisecond {
+		t.Errorf("job started before NotBefore: done at %v", done)
+	}
+	if done > 6*sim.Millisecond {
+		t.Errorf("job should start promptly at NotBefore, done at %v", done)
+	}
+	c.FinalizeAccounting()
+	// Waiting for NotBefore is idleness, not a stall.
+	if c.Stats().StallFlow > sim.Millisecond {
+		t.Errorf("NotBefore wait miscounted as stall: %v", c.Stats().StallFlow)
+	}
+}
+
+func TestNotBeforeDoesNotBlockOtherLanesUnderEDF(t *testing.T) {
+	r := newRig()
+	cfg := testConfig("vd")
+	cfg.Lanes = 2
+	cfg.Policy = EDF
+	c := r.newCore(cfg)
+	var earlyDone sim.Time
+	future := &Job{Label: "future", InBytes: 4 << 10, OutBytes: 4 << 10, InFromDRAM: true, OutToDRAM: true,
+		NotBefore: 100 * sim.Millisecond, Deadline: 101 * sim.Millisecond}
+	now := &Job{Label: "now", InBytes: 4 << 10, OutBytes: 4 << 10, InFromDRAM: true, OutToDRAM: true,
+		Deadline: 200 * sim.Millisecond, OnDone: func() { earlyDone = r.eng.Now() }}
+	if err := c.Submit(0, future); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(1, now); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if earlyDone == 0 || earlyDone > 10*sim.Millisecond {
+		t.Errorf("ready job should not wait behind a future job: done %v", earlyDone)
+	}
+}
+
+func TestRRPolicyRotatesFairly(t *testing.T) {
+	r := newRig()
+	cfg := testConfig("vd")
+	cfg.Lanes = 2
+	cfg.Policy = RR
+	cfg.RRQuantum = 4
+	cfg.CtxSwitch = 100 * sim.Nanosecond
+	c := r.newCore(cfg)
+	var done [2]sim.Time
+	for lane := 0; lane < 2; lane++ {
+		lane := lane
+		j := &Job{Label: "f", InBytes: 64 << 10, OutBytes: 64 << 10,
+			InFromDRAM: true, OutToDRAM: true,
+			// Deadlines would make EDF serve lane 0 first entirely;
+			// RR must interleave regardless.
+			Deadline: sim.Time(1+lane) * sim.Millisecond,
+			OnDone:   func() { done[lane] = r.eng.Now() }}
+		if err := c.Submit(lane, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.eng.Run(sim.Second)
+	if done[0] == 0 || done[1] == 0 {
+		t.Fatal("jobs did not finish")
+	}
+	// Interleaved service: completion times within ~25% of each other.
+	gap := done[1] - done[0]
+	if gap < 0 {
+		gap = -gap
+	}
+	if float64(gap) > 0.25*float64(done[1]) {
+		t.Errorf("RR should interleave: done at %v and %v", done[0], done[1])
+	}
+	if c.Stats().CtxSwitch < 10 {
+		t.Errorf("RR with quantum 4 over 64 chunks should switch often, got %d", c.Stats().CtxSwitch)
+	}
+}
+
+func TestPriorityPolicyFavorsLowLane(t *testing.T) {
+	r := newRig()
+	cfg := testConfig("vd")
+	cfg.Lanes = 2
+	cfg.Policy = Priority
+	c := r.newCore(cfg)
+	var order []int
+	mk := func(lane int) *Job {
+		return &Job{Label: "f", InBytes: 32 << 10, OutBytes: 32 << 10,
+			InFromDRAM: true, OutToDRAM: true,
+			// Earlier deadline on the high lane: Priority must ignore it.
+			Deadline: sim.Time(10-lane) * sim.Millisecond,
+			OnDone:   func() { order = append(order, lane) }}
+	}
+	if err := c.Submit(1, mk(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(0, mk(0)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	if len(order) != 2 || order[0] != 0 {
+		t.Errorf("order = %v, want lane 0 first", order)
+	}
+}
+
+func TestPolicyStringsAll(t *testing.T) {
+	if RR.String() != "RR" || Priority.String() != "Priority" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestTracerHooks(t *testing.T) {
+	r := newRig()
+	rec := trace.NewRecorder()
+	cfg := testConfig("vd")
+	cfg.Tracer = rec
+	c := r.newCore(cfg)
+	done := false
+	j := &Job{Label: "f0", InBytes: 8 << 10, OutBytes: 8 << 10,
+		InFromDRAM: true, OutToDRAM: true, OnDone: func() { done = true }}
+	if err := c.Submit(0, j); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(sim.Second)
+	c.FinalizeAccounting()
+	if !done {
+		t.Fatal("job did not finish")
+	}
+	if rec.Len() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	sawCompute, sawMark := false, false
+	for _, e := range rec.Events() {
+		if e.Track == "vd" && e.Name == "compute" && e.Dur > 0 {
+			sawCompute = true
+		}
+		if e.Name == "f0" && e.Dur == 0 {
+			sawMark = true
+		}
+	}
+	if !sawCompute || !sawMark {
+		t.Error("expected compute spans and a frame mark")
+	}
+}

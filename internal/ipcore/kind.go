@@ -1,0 +1,62 @@
+// Package ipcore models the accelerator IP cores of the handheld SoC —
+// video decoder/encoder, GPU, display controller, audio codecs, camera,
+// image processor, and the device endpoints (speaker, mic, network,
+// storage) — together with the paper's VIP hardware extensions: multi-lane
+// flow buffers, per-lane request contexts, credit-based flow control and a
+// hardware EDF scheduler that context switches between lanes at sub-frame
+// granularity (paper §4.4 and §5.5, Figure 13).
+//
+// An IP core executes Jobs. A Job is one frame's worth of work at one
+// pipeline stage: it consumes input (from DRAM or from an upstream IP via
+// a flow-buffer lane), computes, and emits output (to DRAM, to a
+// downstream lane, or to a device sink). Jobs are queued on lanes; the
+// core's scheduler picks which lane to serve at each sub-frame boundary.
+package ipcore
+
+// Kind identifies the function of an IP core. The abbreviations follow
+// Table 1 of the paper (which in turn references GemDroid).
+type Kind int
+
+// The IP kinds that appear in the paper's application flows.
+const (
+	VD  Kind = iota // video decoder
+	VE              // video encoder
+	GPU             // graphics processor
+	DC              // display controller
+	AD              // audio decoder
+	AE              // audio encoder
+	CAM             // camera / sensor input
+	IMG             // image signal processor
+	SND             // speaker / audio out
+	MIC             // microphone input
+	NW              // network interface
+	MMC             // flash storage
+	numKinds
+)
+
+var kindNames = [...]string{
+	VD: "VD", VE: "VE", GPU: "GPU", DC: "DC",
+	AD: "AD", AE: "AE", CAM: "CAM", IMG: "IMG",
+	SND: "SND", MIC: "MIC", NW: "NW", MMC: "MMC",
+}
+
+// String returns the Table 1 abbreviation for the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return "IP?"
+	}
+	return kindNames[k]
+}
+
+// NumKinds is the number of distinct IP kinds.
+const NumKinds = int(numKinds)
+
+// IsSource reports whether the kind generates data without an input
+// stream (sensors).
+func (k Kind) IsSource() bool { return k == CAM || k == MIC }
+
+// IsSink reports whether the kind consumes data without producing an
+// output stream (device endpoints).
+func (k Kind) IsSink() bool {
+	return k == SND || k == NW || k == MMC || k == DC
+}

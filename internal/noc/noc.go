@@ -1,0 +1,151 @@
+// Package noc models the System Agent (SA) — the centralized interconnect
+// and controller on the handheld SoC. All data movement is physically
+// realized through the SA: IP <-> DRAM traffic, IP-to-IP flow-buffer
+// transfers, and the low-bandwidth flow-control signals between chained
+// IPs (paper §5.5).
+//
+// The SA is modelled as an arbitrated shared link: transfers queue FIFO
+// and are served one at a time at the link bandwidth with a small fixed
+// per-transfer latency. Flow-control signals are modelled as latency-only
+// messages that do not consume measurable bandwidth.
+package noc
+
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Config describes the System Agent fabric.
+type Config struct {
+	// BytesPerSecond is the arbitrated link bandwidth.
+	BytesPerSecond float64
+	// Latency is the fixed per-transfer arbitration + wire latency.
+	Latency sim.Time
+	// SignalLatency is the latency of a flow-control signal
+	// (buffer full / not-full flags).
+	SignalLatency sim.Time
+	// DynamicNJPerByte is the SA energy cost of moving one byte.
+	DynamicNJPerByte float64
+}
+
+// DefaultConfig returns the SA used by the platform: a 25.6 GB/s shared
+// link with 40 ns arbitration latency.
+func DefaultConfig() Config {
+	return Config{
+		BytesPerSecond:   25.6e9,
+		Latency:          40 * sim.Nanosecond,
+		SignalLatency:    20 * sim.Nanosecond,
+		DynamicNJPerByte: 0.004,
+	}
+}
+
+func (c Config) validate() error {
+	if c.BytesPerSecond <= 0 {
+		return fmt.Errorf("noc: bandwidth must be positive")
+	}
+	if c.Latency < 0 || c.SignalLatency < 0 {
+		return fmt.Errorf("noc: latencies must be non-negative")
+	}
+	return nil
+}
+
+// Stats aggregates fabric activity.
+type Stats struct {
+	Transfers  uint64
+	Signals    uint64
+	BytesMoved uint64
+	Busy       sim.Time
+}
+
+type transfer struct {
+	bytes  int
+	onDone func()
+}
+
+// Fabric is the System Agent instance.
+type Fabric struct {
+	eng   *sim.Engine
+	cfg   Config
+	acct  *energy.Account
+	queue []transfer
+	busy  bool
+	stats Stats
+}
+
+// NewFabric builds a fabric on the engine, charging energy to acct.
+// It panics on an invalid configuration.
+func NewFabric(eng *sim.Engine, cfg Config, acct *energy.Account) *Fabric {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	return &Fabric{eng: eng, cfg: cfg, acct: acct}
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Transfer moves n bytes across the SA, calling onDone at completion.
+// Zero-byte transfers still pay the arbitration latency.
+func (f *Fabric) Transfer(n int, onDone func()) {
+	if n < 0 {
+		panic(fmt.Sprintf("noc: negative transfer size %d", n))
+	}
+	f.queue = append(f.queue, transfer{bytes: n, onDone: onDone})
+	if !f.busy {
+		f.serveNext()
+	}
+}
+
+// Signal delivers a flow-control flag after SignalLatency; it bypasses the
+// data queue (dedicated low-bandwidth wires).
+func (f *Fabric) Signal(onDelivered func()) {
+	f.stats.Signals++
+	if onDelivered == nil {
+		return
+	}
+	f.eng.After(f.cfg.SignalLatency, onDelivered)
+}
+
+// serveNext starts the next queued transfer; it is a no-op while the link
+// is already busy.
+func (f *Fabric) serveNext() {
+	if f.busy || len(f.queue) == 0 {
+		return
+	}
+	tr := f.queue[0]
+	f.queue = f.queue[1:]
+	f.busy = true
+	d := f.cfg.Latency + sim.BytesOver(int64(tr.bytes), f.cfg.BytesPerSecond)
+	f.stats.Busy += d
+	f.eng.After(d, func() {
+		f.stats.Transfers++
+		f.stats.BytesMoved += uint64(tr.bytes)
+		f.acct.Add(energy.SystemAgent, f.cfg.DynamicNJPerByte*float64(tr.bytes)*1e-9)
+		f.busy = false
+		if tr.onDone != nil {
+			tr.onDone()
+		}
+		f.serveNext()
+	})
+}
+
+// QueueLen reports the number of transfers waiting for the link.
+func (f *Fabric) QueueLen() int { return len(f.queue) }
+
+// Utilization reports the fraction of elapsed time the link was busy.
+func (f *Fabric) Utilization() float64 {
+	now := f.eng.Now()
+	if now <= 0 {
+		return 0
+	}
+	u := float64(f.stats.Busy) / float64(now)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

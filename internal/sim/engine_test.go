@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", int64(Second))
+	}
+	if Millisecond != 1e6 || Microsecond != 1e3 || Nanosecond != 1 {
+		t.Fatal("unit constants wrong")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	d := 1500 * Microsecond
+	if got := d.Milliseconds(); got != 1.5 {
+		t.Errorf("Milliseconds = %v, want 1.5", got)
+	}
+	if got := d.Microseconds(); got != 1500 {
+		t.Errorf("Microseconds = %v, want 1500", got)
+	}
+	if got := (2 * Second).Seconds(); got != 2 {
+		t.Errorf("Seconds = %v, want 2", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3 * Second, "3.000000s"},
+		{-1500, "-1.500us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFPS(t *testing.T) {
+	p := FPS(60)
+	if p < 16666000 || p > 16667000 {
+		t.Errorf("FPS(60) = %v, want ~16.667ms", p)
+	}
+	if FPS(0) != 0 || FPS(-5) != 0 {
+		t.Error("non-positive FPS should yield 0")
+	}
+}
+
+func TestBytesOver(t *testing.T) {
+	// 1 GiB/s over 1 GiB is 1 second.
+	const gib = 1 << 30
+	d := BytesOver(gib, gib)
+	if d != Second {
+		t.Errorf("BytesOver = %v, want 1s", d)
+	}
+	if BytesOver(100, 0) != 0 {
+		t.Error("zero rate should yield 0")
+	}
+	if BytesOver(0, 100) != 0 {
+		t.Error("zero bytes should yield 0")
+	}
+}
+
+func TestMinMaxTime(t *testing.T) {
+	if MinTime(1, 2) != 1 || MinTime(2, 1) != 1 {
+		t.Error("MinTime wrong")
+	}
+	if MaxTime(1, 2) != 2 || MaxTime(2, 1) != 2 {
+		t.Error("MaxTime wrong")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now = %v, want 100", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func() { order = append(order, i) })
+	}
+	e.Drain()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestEngineRunHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10, func() { fired++ })
+	e.At(20, func() { fired++ })
+	e.At(30, func() { fired++ })
+	e.Run(20)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run(30)
+	if fired != 3 {
+		t.Fatalf("fired = %d, want 3", fired)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var seen []Time
+	e.At(10, func() {
+		seen = append(seen, e.Now())
+		e.After(5, func() { seen = append(seen, e.Now()) })
+	})
+	e.Run(100)
+	if len(seen) != 2 || seen[0] != 10 || seen[1] != 15 {
+		t.Fatalf("seen = %v, want [10 15]", seen)
+	}
+}
+
+func TestEnginePanicsOnPast(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(5, func() {})
+	})
+	e.Run(20)
+}
+
+func TestEnginePanicsOnNilFn(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on nil fn")
+		}
+	}()
+	NewEngine().At(0, nil)
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative delay")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	if e.Step() {
+		t.Error("Step on empty engine should report false")
+	}
+	e.At(7, func() {})
+	if !e.Step() {
+		t.Error("Step should execute the pending event")
+	}
+	if e.Now() != 7 {
+		t.Errorf("Now = %v, want 7", e.Now())
+	}
+	if e.Fired() != 1 {
+		t.Errorf("Fired = %d, want 1", e.Fired())
+	}
+}
+
+// Property: for any set of timestamps, events fire in sorted order.
+func TestEngineOrderingProperty(t *testing.T) {
+	f := func(stamps []uint32) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, s := range stamps {
+			at := Time(s)
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Drain()
+		if len(fired) != len(stamps) {
+			return false
+		}
+		sorted := make([]Time, len(fired))
+		copy(sorted, fired)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := range fired {
+			if fired[i] != sorted[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed must not produce the all-zero stream")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("Intn(10) hit only %d values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) should panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(13)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(3.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Errorf("Exp mean = %v, want ~3", mean)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(17)
+	const n = 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 2)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.1 {
+		t.Errorf("Normal stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestRNGLogNormalPositive(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}
+
+func TestRNGRange(t *testing.T) {
+	r := NewRNG(23)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(5, 10)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGFork(t *testing.T) {
+	a := NewRNG(31)
+	b := a.Fork()
+	if a.Uint64() == b.Uint64() {
+		t.Error("forked stream should diverge from parent")
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), func() {})
+		if e.Pending() > 1024 {
+			for e.Pending() > 0 {
+				e.Step()
+			}
+		}
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			e.After(1, next)
+		}
+	}
+	e.After(1, next)
+	b.ResetTimer()
+	e.Drain()
+}

@@ -1,0 +1,204 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness uses: streaming moments, exact percentiles over bounded sample
+// sets, and fixed-width histograms. QoS argumentation lives in the tail
+// of the latency distribution (a 99th-percentile frame is a visible
+// stutter), so reports carry p95/p99 flow times alongside means.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample accumulates observations and answers moment and percentile
+// queries. The zero value is ready to use. Observations are retained so
+// percentiles are exact.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Sum reports the total of all observations.
+func (s *Sample) Sum() float64 {
+	var t float64
+	for _, v := range s.xs {
+		t += v
+	}
+	return t
+}
+
+// Mean reports the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.Sum() / float64(len(s.xs))
+}
+
+// Var reports the population variance (0 when empty).
+func (s *Sample) Var() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	var acc float64
+	for _, v := range s.xs {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(n)
+}
+
+// StdDev reports the population standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest observation (0 when empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Max reports the largest observation (0 when empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Percentile reports the p-th percentile (p in [0,100]) using the
+// nearest-rank method; 0 when empty. Out-of-range p is clamped.
+func (s *Sample) Percentile(p float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return s.xs[rank-1]
+}
+
+// P50, P95 and P99 are the percentiles QoS reporting uses.
+func (s *Sample) P50() float64 { return s.Percentile(50) }
+
+// P95 reports the 95th percentile.
+func (s *Sample) P95() float64 { return s.Percentile(95) }
+
+// P99 reports the 99th percentile.
+func (s *Sample) P99() float64 { return s.Percentile(99) }
+
+// String renders a compact summary.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+		s.N(), s.Mean(), s.P50(), s.P95(), s.P99(), s.Max())
+}
+
+// JainIndex computes Jain's fairness index over per-flow allocations:
+// (sum x)^2 / (n * sum x^2). It is 1.0 when every flow gets the same
+// share and approaches 1/n when one flow takes everything. Empty or
+// all-zero inputs report 1 (trivially fair).
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Histogram is a fixed-width histogram over [Lo, Hi); values outside the
+// range clamp into the first/last bin.
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	n      int
+}
+
+// NewHistogram builds a histogram with the given bounds and bin count.
+// It panics on a non-positive bin count or an empty range (programming
+// error).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: bad histogram spec [%g,%g)x%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.n++
+}
+
+// N reports the total observations.
+func (h *Histogram) N() int { return h.n }
+
+// Frac reports bin i's fraction of all observations.
+func (h *Histogram) Frac(i int) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.n)
+}
+
+// BinLabel renders bin i's range, e.g. "[0.2, 0.4)".
+func (h *Histogram) BinLabel(i int) string {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return fmt.Sprintf("[%.3g, %.3g)", h.Lo+float64(i)*w, h.Lo+float64(i+1)*w)
+}
+
+// String renders the histogram one bin per line with # bars.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i := range h.Counts {
+		frac := h.Frac(i)
+		bar := strings.Repeat("#", int(frac*50))
+		fmt.Fprintf(&b, "%-16s %6.1f%% %s\n", h.BinLabel(i), frac*100, bar)
+	}
+	return b.String()
+}

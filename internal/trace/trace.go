@@ -1,0 +1,231 @@
+// Package trace records simulation timelines: what every IP, CPU core and
+// flow was doing, when. Recordings export to the Chrome/Perfetto trace
+// format (chrome://tracing, ui.perfetto.dev) and to a plain-text
+// timeline, which makes scheduling pathologies — head-of-line blocking,
+// context-switch thrash, memory-stall inflation — directly visible.
+//
+// The GemDroid methodology the paper builds on is trace-driven; this
+// package is the reproduction's equivalent instrumentation layer.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Tracer is the hook the component models call. A nil *Recorder is a
+// valid Tracer that records nothing, so models can call it
+// unconditionally.
+type Tracer interface {
+	// Span records that track was doing name from start to end.
+	Span(track, name string, start, end sim.Time)
+	// Mark records an instantaneous event on track.
+	Mark(track, name string, at sim.Time)
+}
+
+// Event is one recorded span or mark (Dur == 0).
+type Event struct {
+	Track string
+	Name  string
+	Start sim.Time
+	Dur   sim.Time
+}
+
+// Recorder accumulates events in memory. The zero value records; use nil
+// to disable. Back-to-back spans with the same track and name merge into
+// one event, which keeps sub-frame-granularity phase traces compact.
+type Recorder struct {
+	events []Event
+	last   map[string]int // track -> index of its latest span
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Span implements Tracer. Calls on a nil receiver are no-ops.
+func (r *Recorder) Span(track, name string, start, end sim.Time) {
+	if r == nil || end < start {
+		return
+	}
+	if r.last == nil {
+		r.last = make(map[string]int)
+	}
+	if i, ok := r.last[track]; ok {
+		e := &r.events[i]
+		if e.Name == name && e.Start+e.Dur == start {
+			e.Dur = end - e.Start
+			return
+		}
+	}
+	r.events = append(r.events, Event{Track: track, Name: name, Start: start, Dur: end - start})
+	r.last[track] = len(r.events) - 1
+}
+
+// Mark implements Tracer.
+func (r *Recorder) Mark(track, name string, at sim.Time) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, Event{Track: track, Name: name, Start: at})
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded events sorted by start time.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Tracks returns the distinct track names in first-seen order.
+func (r *Recorder) Tracks() []string {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, e := range r.events {
+		if !seen[e.Track] {
+			seen[e.Track] = true
+			out = append(out, e.Track)
+		}
+	}
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace JSON array.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TSUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+	Cat   string         `json:"cat,omitempty"`
+}
+
+// WriteChrome writes the recording in Chrome trace format (a JSON array
+// of events), loadable in chrome://tracing or ui.perfetto.dev.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	tracks := r.Tracks()
+	tid := make(map[string]int, len(tracks))
+	evs := make([]chromeEvent, 0, r.Len()+len(tracks))
+	for i, t := range tracks {
+		tid[t] = i + 1
+		evs = append(evs, chromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   1,
+			TID:   i + 1,
+			Args:  map[string]any{"name": t},
+		})
+	}
+	for _, e := range r.Events() {
+		ce := chromeEvent{
+			Name:  e.Name,
+			TSUs:  e.Start.Microseconds(),
+			PID:   1,
+			TID:   tid[e.Track],
+			Cat:   "sim",
+			Phase: "X",
+			DurUs: e.Dur.Microseconds(),
+		}
+		if e.Dur == 0 {
+			ce.Phase = "i"
+			ce.DurUs = 0
+		}
+		evs = append(evs, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}
+
+// WriteTimeline renders an ASCII timeline of [from, to) with the given
+// column width in simulated time per character. Each track is one row;
+// a character is the first letter of the dominant span under it, '.' for
+// idle.
+func (r *Recorder) WriteTimeline(w io.Writer, from, to sim.Time, perChar sim.Time) {
+	if r == nil || perChar <= 0 || to <= from {
+		return
+	}
+	cols := int((to - from) / perChar)
+	if cols > 200 {
+		cols = 200
+	}
+	fmt.Fprintf(w, "timeline %v .. %v (%v/char)\n", from, from+sim.Time(cols)*perChar, perChar)
+	for _, track := range r.Tracks() {
+		row := make([]byte, cols)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, e := range r.events {
+			if e.Track != track || e.Dur == 0 {
+				continue
+			}
+			lo := int((e.Start - from) / perChar)
+			hi := int((e.Start + e.Dur - from) / perChar)
+			for c := lo; c <= hi && c < cols; c++ {
+				if c < 0 {
+					continue
+				}
+				ch := byte('#')
+				if len(e.Name) > 0 {
+					ch = e.Name[0]
+				}
+				row[c] = ch
+			}
+		}
+		fmt.Fprintf(w, "%-10s %s\n", clip(track, 10), row)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// Summary renders per-track span counts and busy time.
+func (r *Recorder) Summary() string {
+	if r == nil || len(r.events) == 0 {
+		return "trace: empty\n"
+	}
+	type agg struct {
+		n    int
+		busy sim.Time
+	}
+	m := make(map[string]*agg)
+	for _, e := range r.events {
+		a := m[e.Track]
+		if a == nil {
+			a = &agg{}
+			m[e.Track] = a
+		}
+		a.n++
+		a.busy += e.Dur
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events on %d tracks\n", len(r.events), len(m))
+	for _, t := range r.Tracks() {
+		fmt.Fprintf(&b, "  %-12s %6d events, %v busy\n", t, m[t].n, m[t].busy)
+	}
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/vipsim/vip/internal/sim"
+)
+
+func TestNilRecorderIsValidTracer(t *testing.T) {
+	var r *Recorder
+	r.Span("VD", "compute", 0, 10) // must not panic
+	r.Mark("VD", "done", 10)
+	if r.Len() != 0 || r.Events() != nil || r.Tracks() != nil {
+		t.Error("nil recorder should be empty")
+	}
+	if !strings.Contains(r.Summary(), "empty") {
+		t.Error("nil summary should say empty")
+	}
+}
+
+func TestSpanAndMark(t *testing.T) {
+	r := NewRecorder()
+	r.Span("VD", "compute", 10, 20)
+	r.Mark("VD", "frame", 20)
+	r.Span("DC", "compute", 5, 8)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Track != "DC" {
+		t.Error("events should sort by start time")
+	}
+	tracks := r.Tracks()
+	if len(tracks) != 2 || tracks[0] != "VD" {
+		t.Errorf("tracks = %v", tracks)
+	}
+}
+
+func TestSpanMerging(t *testing.T) {
+	r := NewRecorder()
+	// Back-to-back same-name spans merge (sub-frame phase coalescing).
+	r.Span("VD", "compute", 0, 10)
+	r.Span("VD", "compute", 10, 25)
+	if r.Len() != 1 {
+		t.Fatalf("adjacent spans should merge, got %d", r.Len())
+	}
+	if r.Events()[0].Dur != 25 {
+		t.Errorf("merged dur = %v", r.Events()[0].Dur)
+	}
+	// A gap prevents merging.
+	r.Span("VD", "compute", 30, 40)
+	if r.Len() != 2 {
+		t.Error("gapped spans must not merge")
+	}
+	// A different name prevents merging.
+	r.Span("VD", "memstall", 40, 50)
+	if r.Len() != 3 {
+		t.Error("different names must not merge")
+	}
+}
+
+func TestInvertedSpanIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.Span("VD", "x", 10, 5)
+	if r.Len() != 0 {
+		t.Error("inverted span should be dropped")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	r := NewRecorder()
+	r.Span("VD", "compute", 1000, 3000)
+	r.Mark("VD", "frame", 3000)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// thread_name metadata + span + mark.
+	if len(evs) != 3 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	var sawMeta, sawSpan, sawMark bool
+	for _, e := range evs {
+		switch e["ph"] {
+		case "M":
+			sawMeta = true
+		case "X":
+			sawSpan = true
+			if e["dur"].(float64) != 2 { // 2000ns = 2us
+				t.Errorf("span dur = %v us, want 2", e["dur"])
+			}
+		case "i":
+			sawMark = true
+		}
+	}
+	if !sawMeta || !sawSpan || !sawMark {
+		t.Error("missing chrome event kinds")
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	r := NewRecorder()
+	r.Span("VD", "compute", 0, 5*sim.Millisecond)
+	r.Span("DC", "memstall", 5*sim.Millisecond, 10*sim.Millisecond)
+	var buf bytes.Buffer
+	r.WriteTimeline(&buf, 0, 10*sim.Millisecond, sim.Millisecond)
+	out := buf.String()
+	if !strings.Contains(out, "VD") || !strings.Contains(out, "DC") {
+		t.Errorf("timeline missing tracks:\n%s", out)
+	}
+	if !strings.Contains(out, "ccccc") {
+		t.Errorf("VD row should show compute chars:\n%s", out)
+	}
+	// Degenerate calls are no-ops.
+	r.WriteTimeline(&buf, 10, 5, 1)
+	r.WriteTimeline(&buf, 0, 10, 0)
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder()
+	r.Span("VD", "compute", 0, 100)
+	r.Span("VD", "memstall", 100, 150)
+	s := r.Summary()
+	if !strings.Contains(s, "VD") || !strings.Contains(s, "2 events") {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+// Property: total recorded busy time equals the sum of inserted durations
+// regardless of merging.
+func TestMergeConservesDurationProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		r := NewRecorder()
+		var cursor, want sim.Time
+		for i, d := range durs {
+			dur := sim.Time(d)
+			r.Span("t", "x", cursor, cursor+dur)
+			want += dur
+			cursor += dur
+			if i%3 == 2 {
+				cursor += 5 // gap every third span
+			}
+		}
+		var got sim.Time
+		for _, e := range r.Events() {
+			got += e.Dur
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

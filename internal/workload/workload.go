@@ -1,0 +1,233 @@
+// Package workload defines the applications of Table 1 (A1–A7) and the
+// two-application workload mixes of Table 2 (W1–W8) used throughout the
+// paper's evaluation.
+//
+// Each application is a set of concurrent IP flows. Flow notation follows
+// Table 1, e.g. Skype (A4) is "CPU - VD - DC; CAM - VE - NW; AD - SND;
+// MIC - AE - NW". Frame geometry comes from Table 3: 4K video frames,
+// 2560x1620 camera frames, 16 KB audio frames, 60 FPS required rate.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// Standard sub-flows shared by several applications.
+
+// videoPlaybackFlow is the playback pipeline of Figure 1: decoder, GPU
+// composition pass, display. (Table 1 abbreviates it "CPU - VD - DC";
+// Figure 1 and the paper's per-app bandwidth numbers include the GPU.)
+func videoPlaybackFlow(name string, frameBytes, bitstream int) app.Flow {
+	return app.Flow{
+		Name: name, FPS: 60, InBytes: bitstream,
+		Stages: []app.Stage{
+			{Kind: ipcore.VD, OutBytes: frameBytes},
+			{Kind: ipcore.GPU, OutBytes: app.FrameRender},
+			{Kind: ipcore.DC, OutBytes: 0},
+		},
+		CPUPrep:      60 * sim.Microsecond, // demux, CSD parsing, AV sync
+		CPUPrepInstr: 55000,
+		Display:      true,
+	}
+}
+
+func audioPlaybackFlow(name string) app.Flow {
+	return app.Flow{
+		Name: name, FPS: 60, InBytes: app.BitstreamAudio,
+		Stages: []app.Stage{
+			{Kind: ipcore.AD, OutBytes: app.FrameAudio},
+			{Kind: ipcore.SND, OutBytes: 0},
+		},
+		CPUPrep:      4 * sim.Microsecond,
+		CPUPrepInstr: 3000,
+	}
+}
+
+func micCaptureFlow(name string) app.Flow {
+	return app.Flow{
+		Name: name, FPS: 60,
+		Stages: []app.Stage{
+			{Kind: ipcore.MIC, OutBytes: app.FrameAudio},
+			{Kind: ipcore.AE, OutBytes: app.BitstreamAudio},
+			{Kind: ipcore.NW, OutBytes: 0},
+		},
+		CPUPrep:      4 * sim.Microsecond,
+		CPUPrepInstr: 3000,
+	}
+}
+
+func gameRenderFlow(name string) app.Flow {
+	return app.Flow{
+		Name: name, FPS: 60, InBytes: 256 << 10, // scene/command buffers
+		Stages: []app.Stage{
+			{Kind: ipcore.GPU, OutBytes: app.FrameRender},
+			{Kind: ipcore.DC, OutBytes: 0},
+		},
+		CPUPrep:      120 * sim.Microsecond, // game logic per frame
+		CPUPrepInstr: 100000,
+		Display:      true,
+	}
+}
+
+func cameraEncodeFlow(name string, sink ipcore.Kind) app.Flow {
+	return app.Flow{
+		Name: name, FPS: 60,
+		Stages: []app.Stage{
+			{Kind: ipcore.CAM, OutBytes: app.FrameCamera},
+			{Kind: ipcore.VE, OutBytes: app.BitstreamCamera},
+			{Kind: sink, OutBytes: 0},
+		},
+		CPUPrep:      20 * sim.Microsecond,
+		CPUPrepInstr: 15000,
+	}
+}
+
+// Apps returns the Table 1 applications keyed by their identifier.
+func Apps() map[string]app.Spec {
+	return map[string]app.Spec{
+		"A1": {
+			ID: "A1", Name: "Game-1", Class: app.ClassGame, Touch: app.TouchTap,
+			Flows: []app.Flow{
+				gameRenderFlow("gpu-dc"),
+				audioPlaybackFlow("ad-snd"),
+			},
+		},
+		"A2": {
+			ID: "A2", Name: "AR-Game", Class: app.ClassGame, Touch: app.TouchFlick,
+			Flows: []app.Flow{
+				gameRenderFlow("gpu-dc"),
+				{
+					Name: "cpu-ve-nw", FPS: 30, InBytes: app.FrameHD,
+					Stages: []app.Stage{
+						{Kind: ipcore.VE, OutBytes: app.BitstreamVideoHD},
+						{Kind: ipcore.NW, OutBytes: 0},
+					},
+					CPUPrep:      30 * sim.Microsecond,
+					CPUPrepInstr: 25000,
+				},
+				audioPlaybackFlow("ad-snd"),
+				micCaptureFlow("mic-ae-nw"),
+			},
+		},
+		"A3": {
+			ID: "A3", Name: "Audio-Play", Class: app.ClassAudio, GOP: 16,
+			Flows: []app.Flow{
+				func() app.Flow {
+					f := audioPlaybackFlow("cpu-ad-snd")
+					f.Display = false
+					return f
+				}(),
+				{
+					// Low-rate UI refresh: CPU-composited frames to DC.
+					Name: "cpu-dc", FPS: 10, InBytes: app.FrameRender,
+					Stages:       []app.Stage{{Kind: ipcore.DC, OutBytes: 0}},
+					CPUPrep:      15 * sim.Microsecond,
+					CPUPrepInstr: 12000,
+					Display:      true,
+				},
+			},
+		},
+		"A4": {
+			ID: "A4", Name: "Skype", Class: app.ClassEncode, GOP: 10,
+			Flows: []app.Flow{
+				videoPlaybackFlow("cpu-vd-dc", app.FrameHD, app.BitstreamVideoHD),
+				cameraEncodeFlow("cam-ve-nw", ipcore.NW),
+				audioPlaybackFlow("ad-snd"),
+				micCaptureFlow("mic-ae-nw"),
+			},
+		},
+		"A5": {
+			ID: "A5", Name: "Video Player", Class: app.ClassPlayback, GOP: 16,
+			Flows: []app.Flow{
+				videoPlaybackFlow("cpu-vd-dc", app.Frame4K, app.BitstreamVideo4K),
+				audioPlaybackFlow("ad-snd"),
+			},
+		},
+		"A6": {
+			ID: "A6", Name: "Video Record", Class: app.ClassEncode, GOP: 10,
+			Flows: []app.Flow{
+				{
+					Name: "cam-img-dc", FPS: 60,
+					Stages: []app.Stage{
+						{Kind: ipcore.CAM, OutBytes: app.FrameCamera},
+						{Kind: ipcore.IMG, OutBytes: app.FrameCamera},
+						{Kind: ipcore.DC, OutBytes: 0},
+					},
+					CPUPrep:      20 * sim.Microsecond,
+					CPUPrepInstr: 15000,
+					Display:      true,
+				},
+				cameraEncodeFlow("cam-ve-mmc", ipcore.MMC),
+				func() app.Flow {
+					f := micCaptureFlow("mic-ae-mmc")
+					f.Stages[2].Kind = ipcore.MMC
+					return f
+				}(),
+			},
+		},
+		"A7": {
+			ID: "A7", Name: "Youtube", Class: app.ClassPlayback, GOP: 16,
+			Flows: []app.Flow{
+				videoPlaybackFlow("cpu-vd-dc", app.FrameHD, app.BitstreamVideoHD),
+				audioPlaybackFlow("ad-snd"),
+			},
+		},
+	}
+}
+
+// App returns one Table 1 application or an error for unknown ids.
+func App(id string) (app.Spec, error) {
+	a, ok := Apps()[id]
+	if !ok {
+		return app.Spec{}, fmt.Errorf("workload: unknown application %q", id)
+	}
+	return a, nil
+}
+
+// Workload is a Table 2 multi-application mix.
+type Workload struct {
+	ID      string
+	UseCase string
+	AppIDs  []string
+}
+
+// Workloads returns the Table 2 two-application mixes in order W1..W8.
+func Workloads() []Workload {
+	return []Workload{
+		{ID: "W1", UseCase: "Concurrent multiple Video Playback from disk", AppIDs: []string{"A5", "A5"}},
+		{ID: "W2", UseCase: "Concurrent multiple Video Playback", AppIDs: []string{"A5", "A7", "A7"}},
+		{ID: "W3", UseCase: "Youtube video played with video on disk", AppIDs: []string{"A5", "A7"}},
+		{ID: "W4", UseCase: "Watching video while teleconferencing", AppIDs: []string{"A4", "A5"}},
+		{ID: "W5", UseCase: "Online multi-player gaming", AppIDs: []string{"A1", "A4"}},
+		{ID: "W6", UseCase: "Music playback from disk while gaming", AppIDs: []string{"A2", "A3"}},
+		{ID: "W7", UseCase: "Recording while playing another video", AppIDs: []string{"A5", "A6"}},
+		{ID: "W8", UseCase: "Multiplayer gaming with video-streaming", AppIDs: []string{"A5", "A2"}},
+	}
+}
+
+// ByID returns a Table 2 workload by identifier.
+func ByID(id string) (Workload, error) {
+	for _, w := range Workloads() {
+		if w.ID == id {
+			return w, nil
+		}
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q", id)
+}
+
+// Resolve expands a workload's application ids into specs.
+func (w Workload) Resolve() ([]app.Spec, error) {
+	specs := make([]app.Spec, 0, len(w.AppIDs))
+	for _, id := range w.AppIDs {
+		a, err := App(id)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, a)
+	}
+	return specs, nil
+}

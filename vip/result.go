@@ -1,0 +1,152 @@
+package vip
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/ipcore"
+)
+
+// Result summarises one simulation.
+type Result struct {
+	Scenario Scenario
+
+	// Energy in joules, split by subsystem.
+	TotalEnergyJ float64
+	CPUEnergyJ   float64
+	DRAMEnergyJ  float64
+	IPEnergyJ    float64
+	// EnergyPerFrameJ is total energy over displayed frames — the
+	// quantity Figure 15 normalizes.
+	EnergyPerFrameJ float64
+
+	// CPU activity.
+	CPUActiveMSPerSec  float64
+	Interrupts         uint64
+	InterruptsPer100ms float64
+	Instructions       uint64
+
+	// Memory.
+	AvgBandwidthGBps float64
+	// BWResidency[i] counts 1ms windows whose consumed bandwidth fell in
+	// the i-th decile of peak.
+	BWResidency []int
+
+	// QoS over display flows.
+	DisplayedFrames int
+	OfferedFrames   int
+	AvgFlowTimeMS   float64
+	ViolationRate   float64
+	AchievedFPS     float64
+
+	// Flows carries the per-flow breakdown.
+	Flows []FlowResult
+
+	// IPUtilization maps IP names ("VD", "GPU", ...) to their
+	// compute/active ratio.
+	IPUtilization map[string]float64
+
+	// Rollbacks counts speculative game frames recomputed after a touch
+	// landed mid-burst (Figure 11's rollback path).
+	Rollbacks int
+
+	rep *core.Report
+}
+
+// FlowResult is one flow's QoS outcome.
+type FlowResult struct {
+	App           string
+	Flow          string
+	Display       bool
+	Frames        int
+	Completed     int
+	Dropped       int
+	Violations    int
+	ViolationRate float64
+	AvgFlowTimeMS float64
+	MaxFlowTimeMS float64
+	P95FlowTimeMS float64
+	P99FlowTimeMS float64
+}
+
+func newResult(sc Scenario, rep *core.Report) *Result {
+	r := &Result{
+		Scenario:           sc,
+		TotalEnergyJ:       rep.TotalEnergyJ,
+		CPUEnergyJ:         rep.CPUEnergyJ,
+		DRAMEnergyJ:        rep.DRAMEnergyJ,
+		IPEnergyJ:          rep.IPEnergyJ,
+		EnergyPerFrameJ:    rep.EnergyPerFrameJ,
+		CPUActiveMSPerSec:  rep.CPUActiveMSPerSec,
+		Interrupts:         rep.CPU.Interrupts,
+		InterruptsPer100ms: rep.InterruptsPer100ms,
+		Instructions:       rep.CPU.Instructions,
+		AvgBandwidthGBps:   rep.AvgBWBps / 1e9,
+		BWResidency:        rep.BWHistogram,
+		DisplayedFrames:    rep.DisplayedFrames,
+		OfferedFrames:      rep.OfferedFrames,
+		AvgFlowTimeMS:      rep.AvgFlowTime.Milliseconds(),
+		ViolationRate:      rep.ViolationRate,
+		AchievedFPS:        rep.AchievedFPSTotal,
+		IPUtilization:      make(map[string]float64),
+		Rollbacks:          rep.Rollbacks,
+		rep:                rep,
+	}
+	for _, ip := range rep.IPs {
+		if ip.Stats.Frames > 0 {
+			r.IPUtilization[ip.Kind.String()] = ip.Stats.Utilization()
+		}
+	}
+	for _, f := range rep.Flows {
+		r.Flows = append(r.Flows, FlowResult{
+			App:           f.App,
+			Flow:          f.Flow,
+			Display:       f.Display,
+			Frames:        f.Frames,
+			Completed:     f.Complete,
+			Dropped:       f.Dropped,
+			Violations:    f.Violations,
+			ViolationRate: f.ViolationRate,
+			AvgFlowTimeMS: f.AvgFlowTime.Milliseconds(),
+			MaxFlowTimeMS: f.MaxFlowTime.Milliseconds(),
+			P95FlowTimeMS: f.P95FlowMS,
+			P99FlowTimeMS: f.P99FlowMS,
+		})
+	}
+	return r
+}
+
+// IPStats exposes the raw per-IP counters for a kind name ("VD", "DC"...).
+// The boolean reports whether the kind processed any frames.
+func (r *Result) IPStats(kind string) (ipcore.Stats, bool) {
+	for _, ip := range r.rep.IPs {
+		if ip.Kind.String() == kind {
+			return ip.Stats, ip.Stats.Frames > 0
+		}
+	}
+	return ipcore.Stats{}, false
+}
+
+// Summary renders a human-readable report.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v | %s | %v\n", r.Scenario.System,
+		strings.Join(r.Scenario.Apps, "+"), r.rep.Duration)
+	fmt.Fprintf(&b, "energy: %.1f mJ total (%.3f mJ/frame; cpu %.1f, dram %.1f, ip %.1f)\n",
+		r.TotalEnergyJ*1e3, r.EnergyPerFrameJ*1e3, r.CPUEnergyJ*1e3, r.DRAMEnergyJ*1e3, r.IPEnergyJ*1e3)
+	fmt.Fprintf(&b, "cpu: %.1f ms/s active, %d interrupts (%.1f/100ms)\n",
+		r.CPUActiveMSPerSec, r.Interrupts, r.InterruptsPer100ms)
+	fmt.Fprintf(&b, "memory: %.2f GB/s average\n", r.AvgBandwidthGBps)
+	fmt.Fprintf(&b, "display: %d/%d frames, %.2f ms avg flow time, %.1f%% QoS violations\n",
+		r.DisplayedFrames, r.OfferedFrames, r.AvgFlowTimeMS, r.ViolationRate*100)
+	for _, f := range r.Flows {
+		mark := "  "
+		if f.Display {
+			mark = " *"
+		}
+		fmt.Fprintf(&b, "%s %s/%s: %d/%d frames, %d violations, %.2f ms avg\n",
+			mark, f.App, f.Flow, f.Completed, f.Frames, f.Violations, f.AvgFlowTimeMS)
+	}
+	return b.String()
+}

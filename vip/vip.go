@@ -1,0 +1,214 @@
+// Package vip is the public API of the VIP reproduction: a simulation
+// library for studying virtualized IP-core chains on handheld SoCs, as
+// proposed in "VIP: Virtualizing IP Chains on Handheld Platforms"
+// (ISCA 2015).
+//
+// The library models a complete handheld platform — CPU complex, LPDDR3
+// memory, System Agent interconnect, and a dozen accelerator IP cores —
+// and executes frame-based applications (video playback/recording,
+// games, telephony) under five system designs:
+//
+//   - Baseline: today's per-frame, CPU-orchestrated, memory-staged flows;
+//   - FrameBurst: burst-mode CPU scheduling (one kick per N frames);
+//   - IPToIP: direct IP-to-IP chaining through flow buffers;
+//   - IPToIPBurst: chaining plus bursts (no hardware virtualization);
+//   - VIP: the paper's proposal — chaining, bursts, and multi-lane
+//     virtualized IPs with a hardware EDF scheduler.
+//
+// Quick start:
+//
+//	result, err := vip.Simulate(vip.Scenario{
+//		System: vip.SystemVIP,
+//		Apps:   []string{"A5", "A5"}, // two concurrent video players
+//	})
+//	fmt.Println(result.Summary())
+//
+// Application identifiers follow Table 1 of the paper (A1..A7); workload
+// identifiers follow Table 2 (W1..W8). Custom applications can be built
+// with the App/Flow types and run with SimulateApps.
+package vip
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/platform"
+	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/trace"
+	"github.com/vipsim/vip/internal/workload"
+)
+
+// System selects one of the paper's five system designs.
+type System int
+
+// The five designs of §6.2, in the order the paper plots them.
+const (
+	SystemBaseline System = iota
+	SystemFrameBurst
+	SystemIPToIP
+	SystemIPToIPBurst
+	SystemVIP
+)
+
+var systemNames = [...]string{"Baseline", "FrameBurst", "IP-to-IP", "IP-to-IP+FB", "VIP"}
+
+// String names the system as the paper's figures do.
+func (s System) String() string {
+	if s < 0 || int(s) >= len(systemNames) {
+		return "System?"
+	}
+	return systemNames[s]
+}
+
+// Systems lists all five designs in plotting order.
+func Systems() []System {
+	return []System{SystemBaseline, SystemFrameBurst, SystemIPToIP, SystemIPToIPBurst, SystemVIP}
+}
+
+// mode converts the public System to the internal platform mode.
+func (s System) mode() (platform.Mode, error) {
+	switch s {
+	case SystemBaseline:
+		return platform.Baseline, nil
+	case SystemFrameBurst:
+		return platform.FrameBurst, nil
+	case SystemIPToIP:
+		return platform.IPToIP, nil
+	case SystemIPToIPBurst:
+		return platform.IPToIPBurst, nil
+	case SystemVIP:
+		return platform.VIP, nil
+	}
+	return 0, fmt.Errorf("vip: unknown system %d", int(s))
+}
+
+// Duration is a simulated duration in nanoseconds (re-exported from the
+// simulation kernel for convenience).
+type Duration = sim.Time
+
+// Common durations.
+const (
+	Millisecond Duration = sim.Millisecond
+	Second      Duration = sim.Second
+)
+
+// Scenario describes one simulation.
+type Scenario struct {
+	// System is the design under test.
+	System System
+	// Apps lists Table 1 application ids ("A1".."A7") and/or Table 2
+	// workload ids ("W1".."W8", expanded to their app mixes).
+	Apps []string
+	// Duration is the simulated time; 0 means 400 ms.
+	Duration Duration
+	// BurstSize overrides the nominal frame-burst size (default 5).
+	BurstSize int
+	// Seed drives the touch models and per-frame jitter (default 1).
+	Seed uint64
+	// IdealMemory swaps in a zero-latency memory (upper-bound studies).
+	IdealMemory bool
+	// LaneBufferBytes overrides the per-lane flow-buffer size
+	// (default 2048, the paper's design point).
+	LaneBufferBytes int
+	// ChromeTrace, when non-nil, receives a Chrome/Perfetto trace of the
+	// run (open in ui.perfetto.dev). Keep traced runs short: traces are
+	// sub-frame-granular and grow quickly.
+	ChromeTrace io.Writer
+}
+
+// expandApps resolves app and workload ids into specs.
+func (sc Scenario) expandApps() ([]app.Spec, error) {
+	var specs []app.Spec
+	for _, id := range sc.Apps {
+		if len(id) > 0 && id[0] == 'W' {
+			w, err := workload.ByID(id)
+			if err != nil {
+				return nil, err
+			}
+			ws, err := w.Resolve()
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, ws...)
+			continue
+		}
+		a, err := workload.App(id)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, a)
+	}
+	return specs, nil
+}
+
+// Simulate runs a scenario and returns its result.
+func Simulate(sc Scenario) (*Result, error) {
+	specs, err := sc.expandApps()
+	if err != nil {
+		return nil, err
+	}
+	return SimulateApps(sc, specs...)
+}
+
+// SimulateApps runs a scenario over explicitly constructed applications,
+// allowing flows beyond the Table 1 catalog.
+func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("vip: no applications to simulate")
+	}
+	mode, err := sc.System.mode()
+	if err != nil {
+		return nil, err
+	}
+	pcfg := platform.DefaultConfig(mode)
+	if sc.IdealMemory {
+		pcfg.DRAM.Ideal = true
+	}
+	if sc.LaneBufferBytes > 0 {
+		pcfg.LaneBufBytes = sc.LaneBufferBytes
+	}
+	var rec *trace.Recorder
+	if sc.ChromeTrace != nil {
+		rec = trace.NewRecorder()
+		pcfg.Tracer = rec
+	}
+	p := platform.New(pcfg)
+	opts := core.DefaultOptions(mode)
+	if sc.Duration > 0 {
+		opts.Duration = sc.Duration
+	}
+	if sc.BurstSize > 0 {
+		opts.BurstSize = sc.BurstSize
+	}
+	if sc.Seed != 0 {
+		opts.Seed = sc.Seed
+	}
+	r, err := core.NewRunner(p, apps, opts)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		if err := rec.WriteChrome(sc.ChromeTrace); err != nil {
+			return nil, fmt.Errorf("vip: writing trace: %w", err)
+		}
+	}
+	return newResult(sc, rep), nil
+}
+
+// AppIDs lists the Table 1 application identifiers.
+func AppIDs() []string { return []string{"A1", "A2", "A3", "A4", "A5", "A6", "A7"} }
+
+// WorkloadIDs lists the Table 2 workload identifiers.
+func WorkloadIDs() []string {
+	ids := make([]string, 0, 8)
+	for _, w := range workload.Workloads() {
+		ids = append(ids, w.ID)
+	}
+	return ids
+}

@@ -1,0 +1,224 @@
+package vip
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const testDur = 150 * Millisecond
+
+func TestSimulateBaselineVideo(t *testing.T) {
+	res, err := Simulate(Scenario{System: SystemBaseline, Apps: []string{"A5"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DisplayedFrames == 0 {
+		t.Fatal("no frames displayed")
+	}
+	if res.TotalEnergyJ <= 0 || res.EnergyPerFrameJ <= 0 {
+		t.Error("energy must be positive")
+	}
+	if res.AvgBandwidthGBps <= 0 {
+		t.Error("baseline video must move memory traffic")
+	}
+	sum := res.Summary()
+	for _, want := range []string{"Baseline", "energy:", "display:"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary missing %q", want)
+		}
+	}
+}
+
+func TestSimulateWorkloadExpansion(t *testing.T) {
+	res, err := Simulate(Scenario{System: SystemVIP, Apps: []string{"W1"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W1 = two video players: two display flows plus two audio flows.
+	if len(res.Flows) != 4 {
+		t.Errorf("W1 expanded to %d flows, want 4", len(res.Flows))
+	}
+}
+
+func TestSimulateUnknownIDs(t *testing.T) {
+	if _, err := Simulate(Scenario{System: SystemVIP, Apps: []string{"A9"}}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := Simulate(Scenario{System: SystemVIP, Apps: []string{"W9"}}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := Simulate(Scenario{System: SystemVIP}); err == nil {
+		t.Error("empty app list accepted")
+	}
+	if _, err := Simulate(Scenario{System: System(99), Apps: []string{"A5"}}); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestSystemsAndNames(t *testing.T) {
+	ss := Systems()
+	if len(ss) != 5 {
+		t.Fatalf("Systems() = %v", ss)
+	}
+	if SystemVIP.String() != "VIP" || SystemBaseline.String() != "Baseline" {
+		t.Error("system names wrong")
+	}
+	if System(42).String() != "System?" {
+		t.Error("unknown system should render System?")
+	}
+}
+
+func TestCatalogIDs(t *testing.T) {
+	if len(AppIDs()) != 7 {
+		t.Errorf("AppIDs = %v", AppIDs())
+	}
+	if len(WorkloadIDs()) != 8 {
+		t.Errorf("WorkloadIDs = %v", WorkloadIDs())
+	}
+}
+
+func TestVIPBeatsBaselineEnergy(t *testing.T) {
+	base, err := Simulate(Scenario{System: SystemBaseline, Apps: []string{"W1"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Simulate(Scenario{System: SystemVIP, Apps: []string{"W1"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.EnergyPerFrameJ >= base.EnergyPerFrameJ {
+		t.Errorf("VIP %.3f mJ/frame should beat baseline %.3f",
+			v.EnergyPerFrameJ*1e3, base.EnergyPerFrameJ*1e3)
+	}
+	if v.Interrupts >= base.Interrupts {
+		t.Error("VIP should take fewer interrupts")
+	}
+	if v.AvgBandwidthGBps >= base.AvgBandwidthGBps/4 {
+		t.Error("VIP chains should slash DRAM traffic")
+	}
+}
+
+func TestIdealMemoryOption(t *testing.T) {
+	real, err := Simulate(Scenario{System: SystemBaseline, Apps: []string{"A5", "A5", "A5", "A5"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Simulate(Scenario{System: SystemBaseline, Apps: []string{"A5", "A5", "A5", "A5"},
+		Duration: testDur, IdealMemory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ideal.AvgFlowTimeMS >= real.AvgFlowTimeMS {
+		t.Errorf("ideal memory (%v ms) should beat real (%v ms)", ideal.AvgFlowTimeMS, real.AvgFlowTimeMS)
+	}
+}
+
+func TestIPStatsAccessor(t *testing.T) {
+	res, err := Simulate(Scenario{System: SystemBaseline, Apps: []string{"A5"}, Duration: testDur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := res.IPStats("VD")
+	if !ok || st.Frames == 0 {
+		t.Error("VD should have processed frames")
+	}
+	if _, ok := res.IPStats("XX"); ok {
+		t.Error("unknown IP reported stats")
+	}
+	if u, ok := res.IPUtilization["VD"]; !ok || u <= 0 || u > 1 {
+		t.Errorf("VD utilization = %v", u)
+	}
+}
+
+func TestBuilderCustomApp(t *testing.T) {
+	spec, err := NewApp("X1", "Cam2Net", "encode").
+		GOP(8).
+		Flow("stream", 30, 0).
+		Stage(Camera, FrameCamera).
+		Stage(VideoEncoder, BitstreamCam).
+		Stage(Network, 0).
+		CPUWork(10*1000, 10000).
+		Display().
+		Done().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateApps(Scenario{System: SystemVIP, Duration: testDur}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DisplayedFrames == 0 {
+		t.Error("custom app produced no frames")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewApp("X", "x", "nonsense").Build(); err == nil {
+		t.Error("bad class accepted")
+	}
+	if _, err := NewApp("X", "x", "game").Build(); err == nil {
+		t.Error("app without flows accepted")
+	}
+	_, err := NewApp("X", "x", "game").
+		Flow("f", 60, 100).Stage(IP("??"), 0).Display().Done().Build()
+	if err == nil {
+		t.Error("unknown IP accepted")
+	}
+}
+
+func TestBuilderTouchModes(t *testing.T) {
+	for _, build := range []func(*AppBuilder) *AppBuilder{
+		func(b *AppBuilder) *AppBuilder { return b.TapDriven() },
+		func(b *AppBuilder) *AppBuilder { return b.FlickDriven() },
+	} {
+		spec, err := build(NewApp("G", "game", "game")).
+			Flow("render", 60, 256<<10).
+			Stage(GPU, FrameRender).
+			Stage(Display, 0).
+			CPUWork(50*1000, 40000).
+			Display().
+			Done().Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := SimulateApps(Scenario{System: SystemVIP, Duration: testDur}, spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	sc := Scenario{System: SystemVIP, Apps: []string{"A1"}, Duration: testDur, Seed: 3}
+	a, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergyJ != b.TotalEnergyJ || a.DisplayedFrames != b.DisplayedFrames {
+		t.Error("same scenario must reproduce bit-for-bit")
+	}
+}
+
+func TestChromeTraceOption(t *testing.T) {
+	var buf bytes.Buffer
+	_, err := Simulate(Scenario{
+		System: SystemVIP, Apps: []string{"A3"},
+		Duration: 30 * Millisecond, ChromeTrace: &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(evs) < 10 {
+		t.Errorf("trace has only %d events", len(evs))
+	}
+}
