@@ -7,14 +7,66 @@
 package bench
 
 import (
+	"encoding/json"
+	"flag"
 	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
 	"github.com/vipsim/vip/internal/experiments"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/vip"
 )
+
+// -bench-out makes every benchmark that reports metrics also dump them —
+// plus its ns/op — to BENCH_<name>.json in the given directory, so CI and
+// sweep scripts can diff runs without scraping `go test -bench` output.
+var benchOut = flag.String("bench-out", "", "directory for per-benchmark BENCH_<name>.json metric dumps")
+
+var (
+	benchMu      sync.Mutex
+	benchMetrics = make(map[string]map[string]float64)
+)
+
+// report forwards to b.ReportMetric and, when -bench-out is set, stages
+// the metric for the benchmark's JSON dump (flushed via b.Cleanup).
+func report(b *testing.B, v float64, unit string) {
+	b.ReportMetric(v, unit)
+	if *benchOut == "" {
+		return
+	}
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	m, ok := benchMetrics[b.Name()]
+	if !ok {
+		m = make(map[string]float64)
+		benchMetrics[b.Name()] = m
+		b.Cleanup(func() { flushBench(b) })
+	}
+	m[unit] = v
+}
+
+func flushBench(b *testing.B) {
+	benchMu.Lock()
+	m := benchMetrics[b.Name()]
+	delete(benchMetrics, b.Name())
+	benchMu.Unlock()
+	if b.N > 0 {
+		m["ns_per_op"] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+	}
+	name := strings.NewReplacer("/", "_", "=", "_").Replace(strings.TrimPrefix(b.Name(), "Benchmark"))
+	data, err := json.MarshalIndent(m, "", " ")
+	if err == nil {
+		err = os.WriteFile(filepath.Join(*benchOut, "BENCH_"+name+".json"), append(data, '\n'), 0o644)
+	}
+	if err != nil {
+		b.Errorf("bench-out: %v", err)
+	}
+}
 
 // benchDur keeps each simulated run short enough for benchmarking while
 // still covering several GOPs and bursts.
@@ -68,10 +120,10 @@ func BenchmarkFig02(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(f.CPUTimeMS60[0], "cpu_ms_1app")
-	b.ReportMetric(f.CPUTimeMS60[3], "cpu_ms_4app")
-	b.ReportMetric(f.InterruptsNorm[3], "intr_x_4app")
-	b.ReportMetric(f.FPS[3], "fps_4app")
+	report(b, f.CPUTimeMS60[0], "cpu_ms_1app")
+	report(b, f.CPUTimeMS60[3], "cpu_ms_4app")
+	report(b, f.InterruptsNorm[3], "intr_x_4app")
+	report(b, f.FPS[3], "fps_4app")
 }
 
 // BenchmarkFig03 regenerates Figure 3: VD active time, utilization and
@@ -85,12 +137,12 @@ func BenchmarkFig03(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(f.ActivePerFrameMS[3], "vd_active_ms_4app")
-	b.ReportMetric(f.IdealActiveMS, "vd_active_ms_ideal4")
-	b.ReportMetric(f.Utilization[0]*100, "vd_util_pct_1app")
-	b.ReportMetric(f.Utilization[3]*100, "vd_util_pct_4app")
-	b.ReportMetric(f.AvgBWGBps[3], "bw_gbps_4app")
-	b.ReportMetric(f.TimeAbove80[3]*100, "time_gt80bw_pct_4app")
+	report(b, f.ActivePerFrameMS[3], "vd_active_ms_4app")
+	report(b, f.IdealActiveMS, "vd_active_ms_ideal4")
+	report(b, f.Utilization[0]*100, "vd_util_pct_1app")
+	report(b, f.Utilization[3]*100, "vd_util_pct_4app")
+	report(b, f.AvgBWGBps[3], "bw_gbps_4app")
+	report(b, f.TimeAbove80[3]*100, "time_gt80bw_pct_4app")
 }
 
 // BenchmarkFig05 regenerates Figure 5: the tap-interval distribution.
@@ -99,7 +151,7 @@ func BenchmarkFig05(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f = experiments.RunFig05(24000, 1)
 	}
-	b.ReportMetric(f.Over05*100, "taps_gt_0.5s_pct")
+	report(b, f.Over05*100, "taps_gt_0.5s_pct")
 }
 
 // BenchmarkFig06 regenerates Figure 6: flick burstability.
@@ -108,8 +160,8 @@ func BenchmarkFig06(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f = experiments.RunFig06(200*60*sim.Second, 1)
 	}
-	b.ReportMetric(f.BurstableFrac()*100, "burstable_pct")
-	b.ReportMetric(float64(f.MaxBurst), "max_burst_frames")
+	report(b, f.BurstableFrac()*100, "burstable_pct")
+	report(b, float64(f.MaxBurst), "max_burst_frames")
 }
 
 // BenchmarkFig14 regenerates Figure 14a: flow time vs lane buffer size.
@@ -122,9 +174,9 @@ func BenchmarkFig14(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(f.FlowTimeNorm[0], "flowtime_x_0.5KB")
-	b.ReportMetric(f.FlowTimeNorm[2], "flowtime_x_2KB")
-	b.ReportMetric(f.ReadNJ[len(f.ReadNJ)-1], "read_nJ_64KB")
+	report(b, f.FlowTimeNorm[0], "flowtime_x_0.5KB")
+	report(b, f.FlowTimeNorm[2], "flowtime_x_2KB")
+	report(b, f.ReadNJ[len(f.ReadNJ)-1], "read_nJ_64KB")
 }
 
 // BenchmarkFig15 regenerates Figure 15: normalized energy per frame.
@@ -134,9 +186,9 @@ func BenchmarkFig15(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, avg = sw.NormalizedEnergy()
 	}
-	b.ReportMetric(avg[1], "frameburst_x")
-	b.ReportMetric(avg[2], "iptoip_x")
-	b.ReportMetric(avg[4], "vip_x")
+	report(b, avg[1], "frameburst_x")
+	report(b, avg[2], "iptoip_x")
+	report(b, avg[4], "vip_x")
 }
 
 // BenchmarkFig16 regenerates Figure 16: burst-mode CPU savings.
@@ -154,10 +206,10 @@ func BenchmarkFig16(b *testing.B) {
 			intrFB += fb.InterruptsP100 / n
 		}
 	}
-	b.ReportMetric(eRed*100, "cpu_energy_red_pct")
-	b.ReportMetric(iRed*100, "instr_red_pct")
-	b.ReportMetric(intrBase, "intr_p100ms_base")
-	b.ReportMetric(intrFB, "intr_p100ms_burst")
+	report(b, eRed*100, "cpu_energy_red_pct")
+	report(b, iRed*100, "instr_red_pct")
+	report(b, intrBase, "intr_p100ms_base")
+	report(b, intrFB, "intr_p100ms_burst")
 }
 
 // BenchmarkFig17 regenerates Figure 17: normalized flow time.
@@ -167,9 +219,9 @@ func BenchmarkFig17(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, avg = sw.NormalizedFlowTime()
 	}
-	b.ReportMetric(avg[1], "frameburst_x")
-	b.ReportMetric(avg[2], "iptoip_x")
-	b.ReportMetric(avg[4], "vip_x")
+	report(b, avg[1], "frameburst_x")
+	report(b, avg[2], "iptoip_x")
+	report(b, avg[4], "vip_x")
 }
 
 // BenchmarkFig18 regenerates Figure 18: normalized QoS violations.
@@ -179,9 +231,9 @@ func BenchmarkFig18(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_, avg = sw.NormalizedViolations()
 	}
-	b.ReportMetric(avg[1], "frameburst_x")
-	b.ReportMetric(avg[3], "iptoipburst_x")
-	b.ReportMetric(avg[4], "vip_x")
+	report(b, avg[1], "frameburst_x")
+	report(b, avg[3], "iptoipburst_x")
+	report(b, avg[4], "vip_x")
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
@@ -212,7 +264,7 @@ func BenchmarkAblationScheduler(b *testing.B) {
 		}
 	}
 	for _, r := range st.Rows {
-		b.ReportMetric(r.ViolationRate*100, "viol_pct_"+r.Policy.String())
+		report(b, r.ViolationRate*100, "viol_pct_"+r.Policy.String())
 	}
 }
 
@@ -226,8 +278,8 @@ func BenchmarkAblationBurst(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(s.Rows[0].IntrPer100ms, "intr_p100ms_burst1")
-	b.ReportMetric(s.Rows[len(s.Rows)-1].IntrPer100ms, "intr_p100ms_burst7")
+	report(b, s.Rows[0].IntrPer100ms, "intr_p100ms_burst1")
+	report(b, s.Rows[len(s.Rows)-1].IntrPer100ms, "intr_p100ms_burst7")
 }
 
 // BenchmarkAblationLanes sweeps the virtual-lane count on W2.
@@ -240,8 +292,8 @@ func BenchmarkAblationLanes(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(s.Rows[0].ViolationRate*100, "viol_pct_1lane")
-	b.ReportMetric(s.Rows[2].ViolationRate*100, "viol_pct_3lane")
+	report(b, s.Rows[0].ViolationRate*100, "viol_pct_1lane")
+	report(b, s.Rows[2].ViolationRate*100, "viol_pct_3lane")
 }
 
 // BenchmarkAblationPatience sweeps the EDF switch patience, exposing the
@@ -255,6 +307,40 @@ func BenchmarkAblationPatience(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(s.Rows[0].CtxSwitches), "ctxsw_patience0")
-	b.ReportMetric(float64(s.Rows[2].CtxSwitches), "ctxsw_patience2us")
+	report(b, float64(s.Rows[0].CtxSwitches), "ctxsw_patience0")
+	report(b, float64(s.Rows[2].CtxSwitches), "ctxsw_patience2us")
+}
+
+// BenchmarkRunner measures the end-to-end public-API runner with the
+// metrics layer disabled (the nil-registry fast path) and enabled at the
+// conventional 1 ms sampling period, to show observability is
+// pay-as-you-go.
+func BenchmarkRunner(b *testing.B) {
+	for _, c := range []struct {
+		name     string
+		interval vip.Duration
+	}{
+		{"metrics-off", 0},
+		{"metrics-on-1ms", vip.Millisecond},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			var res *vip.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = vip.Simulate(vip.Scenario{
+					System:          vip.SystemVIP,
+					Apps:            []string{"A5", "A5"},
+					Duration:        100 * sim.Millisecond,
+					MetricsInterval: c.interval,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			report(b, float64(res.DisplayedFrames), "frames")
+			if c.interval > 0 {
+				report(b, float64(res.MetricSamples()), "samples")
+			}
+		})
+	}
 }

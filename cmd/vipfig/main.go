@@ -13,8 +13,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -27,6 +29,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (table1..3, fig2..fig18, all)")
 	duration := flag.Duration("duration", 400*time.Millisecond, "simulated duration per run")
 	seed := flag.Uint64("seed", 1, "random seed")
+	jsonOut := flag.String("json", "", "also write every experiment's data as machine-readable JSON to this file")
 	flag.Parse()
 
 	dur := sim.Time(duration.Nanoseconds())
@@ -34,14 +37,31 @@ func main() {
 	// figNNa / figNNb select the same experiment as figNN.
 	id = strings.TrimSuffix(strings.TrimSuffix(id, "a"), "b")
 
-	if err := run(id, dur, *seed); err != nil {
+	if err := run(id, dur, *seed, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "vipfig:", err)
 		os.Exit(1)
 	}
 }
 
-func run(id string, dur sim.Time, seed uint64) error {
+// writeArtifacts dumps the structured results of every section to path:
+// figure/sweep structs marshal field by field, tables as rendered text.
+func writeArtifacts(path string, artifacts map[string]any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	err = enc.Encode(artifacts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func run(id string, dur sim.Time, seed uint64, jsonOut string) error {
 	out := os.Stdout
+	artifacts := make(map[string]any)
 	var sweep *experiments.ModeSweep
 	needSweep := func() error {
 		if sweep != nil {
@@ -67,92 +87,112 @@ func run(id string, dur sim.Time, seed uint64) error {
 		}
 		switch sec {
 		case "table1":
-			experiments.WriteTable1(out)
+			var b strings.Builder
+			experiments.WriteTable1(io.MultiWriter(out, &b))
+			artifacts[sec] = b.String()
 		case "table2":
-			experiments.WriteTable2(out)
+			var b strings.Builder
+			experiments.WriteTable2(io.MultiWriter(out, &b))
+			artifacts[sec] = b.String()
 		case "table3":
-			experiments.WriteTable3(out)
+			var b strings.Builder
+			experiments.WriteTable3(io.MultiWriter(out, &b))
+			artifacts[sec] = b.String()
 		case "fig2":
 			f, err := experiments.RunFig02(dur)
 			if err != nil {
 				return err
 			}
 			f.Write(out)
+			artifacts[sec] = f
 		case "fig3":
 			f, err := experiments.RunFig03(dur)
 			if err != nil {
 				return err
 			}
 			f.Write(out)
+			artifacts[sec] = f
 		case "fig5":
-			experiments.RunFig05(0, seed).Write(out)
+			f := experiments.RunFig05(0, seed)
+			f.Write(out)
+			artifacts[sec] = f
 		case "fig6":
-			experiments.RunFig06(0, seed).Write(out)
+			f := experiments.RunFig06(0, seed)
+			f.Write(out)
+			artifacts[sec] = f
 		case "fig14":
 			f, err := experiments.RunFig14(dur)
 			if err != nil {
 				return err
 			}
 			f.Write(out)
-		case "fig15":
+			artifacts[sec] = f
+		case "fig15", "fig16", "fig17", "fig18":
 			if err := needSweep(); err != nil {
 				return err
 			}
-			sweep.WriteFig15(out)
-		case "fig16":
-			if err := needSweep(); err != nil {
-				return err
+			switch sec {
+			case "fig15":
+				sweep.WriteFig15(out)
+			case "fig16":
+				sweep.WriteFig16(out)
+			case "fig17":
+				sweep.WriteFig17(out)
+			case "fig18":
+				sweep.WriteFig18(out)
 			}
-			sweep.WriteFig16(out)
-		case "fig17":
-			if err := needSweep(); err != nil {
-				return err
-			}
-			sweep.WriteFig17(out)
-		case "fig18":
-			if err := needSweep(); err != nil {
-				return err
-			}
-			sweep.WriteFig18(out)
+			artifacts["sweep"] = sweep
 		case "sched":
 			st, err := experiments.RunSchedulerStudy("W1", dur)
 			if err != nil {
 				return err
 			}
 			st.Write(out)
+			artifacts[sec] = st
 		case "burst":
 			sw, err := experiments.RunBurstSweep(dur)
 			if err != nil {
 				return err
 			}
 			sw.Write(out)
+			artifacts[sec] = sw
 		case "lanes":
 			sw, err := experiments.RunLaneSweep(dur)
 			if err != nil {
 				return err
 			}
 			sw.Write(out)
+			artifacts[sec] = sw
 		case "patience":
 			sw, err := experiments.RunPatienceSweep(dur)
 			if err != nil {
 				return err
 			}
 			sw.Write(out)
+			artifacts[sec] = sw
 		case "ctxcost":
 			sw, err := experiments.RunCtxCostSweep(dur)
 			if err != nil {
 				return err
 			}
 			sw.Write(out)
+			artifacts[sec] = sw
 		case "subframe":
 			sw, err := experiments.RunSubframeSweep(dur)
 			if err != nil {
 				return err
 			}
 			sw.Write(out)
+			artifacts[sec] = sw
 		default:
 			return fmt.Errorf("unknown experiment %q", sec)
 		}
+	}
+	if jsonOut != "" {
+		if err := writeArtifacts(jsonOut, artifacts); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "vipfig: wrote %s (%d sections)\n", jsonOut, len(artifacts))
 	}
 	return nil
 }

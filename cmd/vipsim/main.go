@@ -5,15 +5,22 @@
 //	vipsim -system vip -apps A5,A5 -duration 400ms
 //	vipsim -system baseline -apps W4
 //	vipsim -compare -apps W1          # all five designs side by side
+//
+// Observability (see the README's Observability section):
+//
+//	vipsim -system vip -apps A5,A5 -metrics-out ts.json -report-json report.json
+//	vipsim -system vip -apps W1 -duration 10s -metrics-addr :9090
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/vip"
 )
 
@@ -42,6 +49,11 @@ func main() {
 	ideal := flag.Bool("ideal-memory", false, "use a zero-latency memory")
 	lane := flag.Int("lane-buffer", 0, "per-lane flow buffer bytes override")
 	compare := flag.Bool("compare", false, "run all five designs and print one line each")
+	metricsOut := flag.String("metrics-out", "", "write sampled metric time series as JSON to this file")
+	metricsCSV := flag.String("metrics-csv", "", "write sampled metric time series as CSV to this file")
+	metricsInterval := flag.Duration("metrics-interval", time.Millisecond, "simulated sampling period for the metrics time series")
+	reportJSON := flag.String("report-json", "", "write the full machine-readable report as JSON to this file")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /healthz on this address during the run, e.g. :9090")
 	flag.Parse()
 
 	ids := strings.Split(*apps, ",")
@@ -55,6 +67,25 @@ func main() {
 		Seed:            *seed,
 		IdealMemory:     *ideal,
 		LaneBufferBytes: *lane,
+	}
+	// Any observability output enables the metrics layer.
+	if *metricsOut != "" || *metricsCSV != "" || *reportJSON != "" || *metricsAddr != "" {
+		base.MetricsInterval = vip.Duration(metricsInterval.Nanoseconds())
+		if base.MetricsInterval <= 0 {
+			fmt.Fprintln(os.Stderr, "vipsim: -metrics-interval must be positive")
+			os.Exit(2)
+		}
+	}
+	if *metricsAddr != "" {
+		srv := metrics.NewHTTPServer()
+		bound, err := srv.Start(*metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vipsim:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "vipsim: serving /metrics and /healthz on http://%s\n", bound)
+		base.OnMetricsSnapshot = srv.Publish
 	}
 
 	if *compare {
@@ -88,4 +119,29 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(res.Summary())
+
+	writeFile := func(path string, write func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err == nil {
+			err = write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vipsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		writeFile(*metricsOut, res.WriteTimeSeriesJSON)
+		fmt.Fprintf(os.Stderr, "vipsim: wrote %s (%d metrics x %d samples)\n",
+			*metricsOut, len(res.MetricNames()), res.MetricSamples())
+	}
+	if *metricsCSV != "" {
+		writeFile(*metricsCSV, res.WriteTimeSeriesCSV)
+	}
+	if *reportJSON != "" {
+		writeFile(*reportJSON, res.WriteReportJSON)
+	}
 }

@@ -17,6 +17,7 @@ import (
 
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/trace"
@@ -44,6 +45,8 @@ func main() {
 	apps := flag.String("apps", "A5", "comma-separated app ids (A1..A7) or workload ids (W1..W8)")
 	duration := flag.Duration("duration", 60*time.Millisecond, "simulated duration (keep short: traces are dense)")
 	out := flag.String("o", "", "write a Chrome/Perfetto trace JSON to this file")
+	metricsOut := flag.String("metrics-out", "", "write sampled metric time series as JSON to this file")
+	metricsInterval := flag.Duration("metrics-interval", time.Millisecond, "simulated sampling period for -metrics-out")
 	flag.Parse()
 
 	mode, err := parseMode(*system)
@@ -75,9 +78,15 @@ func main() {
 	rec := trace.NewRecorder()
 	pcfg := platform.DefaultConfig(mode)
 	pcfg.Tracer = rec
+	if *metricsOut != "" {
+		pcfg.Metrics = metrics.NewRegistry()
+	}
 	p := platform.New(pcfg)
 	opts := core.DefaultOptions(mode)
 	opts.Duration = sim.Time(duration.Nanoseconds())
+	if *metricsOut != "" {
+		opts.MetricsInterval = sim.Time(metricsInterval.Nanoseconds())
+	}
 	r, err := core.NewRunner(p, specs, opts)
 	if err != nil {
 		fatal(err)
@@ -110,6 +119,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s (%d events) — open in ui.perfetto.dev\n", *out, rec.Len())
+	}
+
+	if *metricsOut != "" {
+		s := r.Sampler()
+		if s == nil {
+			fatal(fmt.Errorf("metrics sampler did not run (is -metrics-interval positive?)"))
+		}
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := s.TimeSeries().WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d metrics x %d samples)\n",
+			*metricsOut, len(s.TimeSeries().Names()), s.Samples())
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"github.com/vipsim/vip/internal/app"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 )
@@ -105,6 +106,13 @@ type Options struct {
 	// ComputeNoise is the +/- fraction of per-frame compute jitter
 	// (scene complexity).
 	ComputeNoise float64
+	// MetricsInterval, when positive and the platform carries a metrics
+	// registry, samples every gauge into time series at this simulated
+	// period (1 ms is a good default).
+	MetricsInterval sim.Time
+	// OnMetricsSample, when non-nil, runs after every sampler tick — the
+	// live /metrics endpoint publishes snapshots from this hook.
+	OnMetricsSample func(*metrics.Sampler)
 }
 
 // DefaultOptions returns options matching the paper's evaluation setup.

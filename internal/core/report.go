@@ -1,7 +1,10 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -9,6 +12,7 @@ import (
 	"github.com/vipsim/vip/internal/dram"
 	"github.com/vipsim/vip/internal/energy"
 	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 )
@@ -36,6 +40,21 @@ type FlowReport struct {
 type IPReport struct {
 	Kind  ipcore.Kind
 	Stats ipcore.Stats
+}
+
+// SimProfile is the simulator's own performance profile for one run:
+// wall-clock throughput of the event engine and the heap it used. These
+// are measurements of the simulator, not of the simulated platform, so
+// they live in the report (which is not required to be byte-stable)
+// rather than the deterministic time series.
+type SimProfile struct {
+	EventsFired       uint64
+	WallSeconds       float64
+	EventsPerWallSec  float64
+	SimPerWallSec     float64 // simulated seconds per wall second
+	HeapAllocBytes    uint64
+	MetricsSamples    int
+	MetricsIntervalNS int64
 }
 
 // Report is the full outcome of one Runner.Run.
@@ -77,6 +96,14 @@ type Report struct {
 
 	// Game bursting.
 	Rollbacks int
+
+	// Sim is the simulator's self-profile (engine throughput, heap).
+	Sim SimProfile
+
+	// Counters and Distributions snapshot the metrics registry at the
+	// end of the run; empty when metrics were disabled.
+	Counters      map[string]float64             `json:",omitempty"`
+	Distributions map[string]metrics.DistSummary `json:",omitempty"`
 }
 
 // buildReport assembles the report after a run.
@@ -102,6 +129,26 @@ func (r *Runner) buildReport() *Report {
 	rep.AvgBWBps = r.p.Mem.AvgBandwidthBPS()
 	rep.BWHistogram = r.p.Mem.BandwidthHistogram(10)
 	rep.TimeAbove80 = r.p.Mem.TimeAboveUtilization(0.8)
+
+	rep.Sim = SimProfile{
+		EventsFired: r.p.Eng.Fired(),
+		WallSeconds: r.simWallSeconds,
+	}
+	if rep.Sim.WallSeconds > 0 {
+		rep.Sim.EventsPerWallSec = float64(rep.Sim.EventsFired) / rep.Sim.WallSeconds
+		rep.Sim.SimPerWallSec = r.opts.Duration.Seconds() / rep.Sim.WallSeconds
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.Sim.HeapAllocBytes = ms.HeapAlloc
+	if r.sampler != nil {
+		rep.Sim.MetricsSamples = r.sampler.Samples()
+		rep.Sim.MetricsIntervalNS = int64(r.sampler.Interval())
+	}
+	if reg := r.p.Metrics(); reg.Enabled() {
+		rep.Counters = reg.Counters()
+		rep.Distributions = reg.Distributions()
+	}
 
 	for _, k := range r.p.Kinds() {
 		rep.IPs = append(rep.IPs, IPReport{Kind: k, Stats: r.p.IP(k).Stats()})
@@ -155,6 +202,16 @@ func (r *Runner) buildReport() *Report {
 		return rep.Flows[i].Flow < rep.Flows[j].Flow
 	})
 	return rep
+}
+
+// WriteJSON writes the full report as indented JSON. Every field is
+// exported and JSON-native (ints, floats, strings, maps with sorted
+// keys), so the output round-trips through encoding/json and is stable
+// for diffing across runs and PRs.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(rep)
 }
 
 // IPStat returns the stats of one IP kind (zero value if absent).

@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/cpu"
 	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 )
@@ -21,6 +23,17 @@ type Runner struct {
 	flows     []*flowState
 	rollbacks int
 	ran       bool
+
+	// Observability: counters are nil (no-op) when the platform has no
+	// metrics registry.
+	sampler        *metrics.Sampler
+	mReleased      *metrics.Counter
+	mCompleted     *metrics.Counter
+	mDropped       *metrics.Counter
+	mViolations    *metrics.Counter
+	mRollbacks     *metrics.Counter
+	dFlowTimeMS    *metrics.Distribution
+	simWallSeconds float64
 }
 
 // flowState is the runtime of one application flow.
@@ -67,6 +80,15 @@ func NewRunner(p *platform.Platform, apps []app.Spec, opts Options) (*Runner, er
 		return nil, fmt.Errorf("core: no applications")
 	}
 	r := &Runner{p: p, opts: opts, apps: apps, cm: newChainManager(p)}
+	// Counter/distribution handles are nil-safe: on a platform without a
+	// registry they are nil and every increment is a no-op.
+	reg := p.Metrics()
+	r.mReleased = reg.Counter("frames.released_total")
+	r.mCompleted = reg.Counter("frames.completed_total")
+	r.mDropped = reg.Counter("frames.dropped_total")
+	r.mViolations = reg.Counter("qos.violations_total")
+	r.mRollbacks = reg.Counter("game.rollbacks_total")
+	r.dFlowTimeMS = reg.Distribution("flow.time_ms")
 	for ai := range apps {
 		a := &apps[ai]
 		if err := a.Validate(); err != nil {
@@ -137,8 +159,16 @@ func (r *Runner) Run() (*Report, error) {
 	for _, fs := range r.flows {
 		r.scheduleNextRelease(fs)
 	}
+	// The periodic metrics sampler rides the same event queue as the
+	// component models, so sampling is deterministic.
+	r.sampler = metrics.StartSampler(r.p.Eng, r.p.Metrics(), r.opts.MetricsInterval, r.opts.Duration)
+	if r.sampler != nil {
+		r.sampler.OnSample = r.opts.OnMetricsSample
+	}
 
+	wallStart := time.Now()
 	r.p.Eng.Run(r.opts.Duration)
+	r.simWallSeconds = time.Since(wallStart).Seconds()
 	r.p.FinalizeAccounting()
 
 	// Expire frames that were submitted but never finished and are past
@@ -147,11 +177,16 @@ func (r *Runner) Run() (*Report, error) {
 		for _, rel := range fs.unfinished {
 			if fs.qos.Deadline(rel) <= r.opts.Duration {
 				fs.qos.Expired()
+				r.mViolations.Inc()
 			}
 		}
 	}
 	return r.buildReport(), nil
 }
+
+// Sampler returns the metrics sampler of the run (nil when metrics were
+// disabled or Run has not been called).
+func (r *Runner) Sampler() *metrics.Sampler { return r.sampler }
 
 // cpuTask schedules CPU work and invokes then when it retires.
 func (r *Runner) cpuTask(hint int, label string, d sim.Time, then func()) {
@@ -198,9 +233,11 @@ func (r *Runner) releaseGroup(fs *flowState) {
 		if fs.inFlight >= r.opts.MaxBacklog {
 			// Driver queue full (the Nexus 7 depth-7 limit): drop.
 			fs.qos.Dropped()
+			r.mDropped.Inc()
 			continue
 		}
 		fs.qos.Released()
+		r.mReleased.Inc()
 		fs.inFlight++
 		fs.unfinished[i] = fs.releaseTime(i)
 		frames = append(frames, i)
@@ -239,7 +276,17 @@ func (r *Runner) completeFrame(fs *flowState, frame int) {
 		tr.Span(fmt.Sprintf("flow%d:%s/%s", fs.id, fs.aspec.ID, fs.spec.Name),
 			fmt.Sprintf("f%d", frame), start, r.p.Eng.Now())
 	}
-	fs.qos.Completed(rel, start, r.p.Eng.Now())
+	now := r.p.Eng.Now()
+	onTime := fs.qos.Completed(rel, start, now)
+	r.mCompleted.Inc()
+	if !onTime {
+		r.mViolations.Inc()
+	}
+	if ft := now - start; ft > 0 {
+		r.dFlowTimeMS.Observe(ft.Milliseconds())
+	} else {
+		r.dFlowTimeMS.Observe(0)
+	}
 }
 
 // computeScale returns the deterministic per-frame compute multiplier:
@@ -521,6 +568,7 @@ func (r *Runner) tapLoop(appIdx int, m *app.TapModel) {
 					cur := int((now - fs.phase) / fs.period)
 					if last > cur {
 						r.rollbacks++
+						r.mRollbacks.Inc()
 						redo := sim.Time(last-cur) * fs.spec.CPUPrep
 						r.cpuTask(appIdx, "rollback", redo, nil)
 					}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/trace"
 )
@@ -44,6 +45,10 @@ type Config struct {
 
 	// Tracer, when non-nil, records per-core task timelines.
 	Tracer trace.Tracer
+
+	// Metrics, when non-nil, receives the complex's gauges (busy
+	// fraction, sleep residency, run-queue depth, interrupt counts).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the platform CPU: 4 in-order cores.
@@ -118,7 +123,54 @@ func New(eng *sim.Engine, cfg Config, acct *energy.Account) *Complex {
 	for i := range cx.cores {
 		cx.cores[i] = &core{idleSince: 0}
 	}
+	cx.registerMetrics()
 	return cx
+}
+
+// registerMetrics wires the complex's gauges into the metrics registry
+// (a no-op when metrics are disabled).
+func (cx *Complex) registerMetrics() {
+	reg := cx.cfg.Metrics
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("cpu.interrupts_total", func() float64 { return float64(cx.stats.Interrupts) })
+	reg.Gauge("cpu.wakes_total", func() float64 { return float64(cx.stats.Wakes) })
+	reg.Gauge("cpu.deep_wakes_total", func() float64 { return float64(cx.stats.DeepWakes) })
+	reg.Gauge("cpu.instructions_total", func() float64 { return float64(cx.stats.Instructions) })
+	reg.Gauge("cpu.runq_depth", func() float64 {
+		n := 0
+		for _, c := range cx.cores {
+			n += len(c.queue)
+		}
+		return float64(n)
+	})
+	// Instantaneous sleep-state residency: cores whose idle gap already
+	// exceeds the governor's deep-sleep threshold.
+	reg.Gauge("cpu.deep_sleep_frac", func() float64 {
+		now := cx.eng.Now()
+		n := 0
+		for _, c := range cx.cores {
+			if !c.busy && now-c.idleSince > cx.cfg.SleepAfter {
+				n++
+			}
+		}
+		return float64(n) / float64(len(cx.cores))
+	})
+	var lastActive, lastAt sim.Time
+	reg.Gauge("cpu.busy_frac", func() float64 {
+		now := cx.eng.Now()
+		da, dt := cx.stats.ActiveTime-lastActive, now-lastAt
+		lastActive, lastAt = cx.stats.ActiveTime, now
+		if dt <= 0 {
+			return 0
+		}
+		u := float64(da) / (float64(dt) * float64(len(cx.cores)))
+		if u > 1 {
+			u = 1
+		}
+		return u
+	})
 }
 
 // Config returns the complex configuration.

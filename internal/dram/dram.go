@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/sim"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// BWWindow is the sampling window for the bandwidth-over-time
 	// histogram (Figure 3d).
 	BWWindow sim.Time
+
+	// Metrics, when non-nil, receives the controller's gauges (queue
+	// depth, consumed bandwidth, row-hit rate).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the LPDDR3 configuration of Table 3: 4 channels,
@@ -169,7 +174,46 @@ func NewController(eng *sim.Engine, cfg Config, acct *energy.Account) *Controlle
 			c.scheduleRefresh(ch)
 		}
 	}
+	c.registerMetrics()
 	return c
+}
+
+// registerMetrics wires the controller's gauges into the metrics
+// registry (a no-op when metrics are disabled). The bandwidth gauge is a
+// stateful delta: the sampler polls each gauge exactly once per tick, in
+// deterministic order, so the closure's memory of the previous tick is
+// reproducible.
+func (c *Controller) registerMetrics() {
+	reg := c.cfg.Metrics
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("dram.queue_depth", func() float64 { return float64(c.QueueLen()) })
+	reg.Gauge("dram.bytes_total", func() float64 { return float64(c.stats.BytesMoved) })
+	reg.Gauge("dram.requests_total", func() float64 { return float64(c.stats.Requests) })
+	reg.Gauge("dram.row_hit_rate", func() float64 { return c.stats.RowHitRate() })
+	var lastBytes uint64
+	var lastAt sim.Time
+	reg.Gauge("dram.bandwidth_bps", func() float64 {
+		now := c.eng.Now()
+		db, dt := c.stats.BytesMoved-lastBytes, now-lastAt
+		lastBytes, lastAt = c.stats.BytesMoved, now
+		if dt <= 0 {
+			return 0
+		}
+		return float64(db) / dt.Seconds()
+	})
+	var lastBusy sim.Time
+	var lastBusyAt sim.Time
+	reg.Gauge("dram.busy_frac", func() float64 {
+		now := c.eng.Now()
+		db, dt := c.stats.BusyChannel-lastBusy, now-lastBusyAt
+		lastBusy, lastBusyAt = c.stats.BusyChannel, now
+		if dt <= 0 {
+			return 0
+		}
+		return float64(db) / (float64(dt) * float64(c.cfg.Channels))
+	})
 }
 
 // scheduleRefresh arms the periodic all-bank refresh of a channel: every

@@ -9,6 +9,7 @@
 package energy
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -103,6 +104,26 @@ func (a *Account) Categories() []Category {
 	}
 	sort.Slice(cats, func(i, j int) bool { return cats[i] < cats[j] })
 	return cats
+}
+
+// MarshalJSON renders the account as a {category: joules} object.
+// encoding/json sorts map keys, so the output is deterministic.
+func (a *Account) MarshalJSON() ([]byte, error) {
+	m := a.byCat
+	if m == nil {
+		m = map[Category]float64{}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON restores an account from its MarshalJSON form.
+func (a *Account) UnmarshalJSON(b []byte) error {
+	var m map[Category]float64
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	a.byCat = m
+	return nil
 }
 
 // String renders a human-readable breakdown in millijoules.

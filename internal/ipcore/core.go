@@ -5,6 +5,7 @@ import (
 
 	"github.com/vipsim/vip/internal/dram"
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/noc"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/trace"
@@ -91,6 +92,11 @@ type Config struct {
 	// Tracer, when non-nil, records the core's phase timeline and frame
 	// completions.
 	Tracer trace.Tracer
+
+	// Metrics, when non-nil, receives the core's gauges (busy fraction,
+	// lane occupancy, flow-buffer fill, context switches), prefixed
+	// "ip.<Name>.".
+	Metrics *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -187,7 +193,56 @@ func NewCore(eng *sim.Engine, cfg Config, sa *noc.Fabric, mem *dram.Controller, 
 	for i := range c.lanes {
 		c.lanes[i] = &Lane{core: c, idx: i, capBytes: cfg.LaneBufBytes, FlowID: -1}
 	}
+	c.registerMetrics()
 	return c
+}
+
+// registerMetrics wires the core's gauges into the metrics registry (a
+// no-op when metrics are disabled). Phase times accrue at transitions,
+// which happen at sub-frame granularity, so the sampled busy fraction
+// tracks the true residency closely.
+func (c *Core) registerMetrics() {
+	reg := c.cfg.Metrics
+	if !reg.Enabled() {
+		return
+	}
+	prefix := "ip." + c.cfg.Name + "."
+	reg.Gauge(prefix+"occupancy", func() float64 {
+		n := 0
+		for _, l := range c.lanes {
+			n += l.QueueLen()
+		}
+		return float64(n)
+	})
+	reg.Gauge(prefix+"flowbuf_used_bytes", func() float64 {
+		n := 0
+		for _, l := range c.lanes {
+			n += l.used
+		}
+		return float64(n)
+	})
+	reg.Gauge(prefix+"frames_total", func() float64 { return float64(c.stats.Frames) })
+	reg.Gauge(prefix+"ctx_switches_total", func() float64 { return float64(c.stats.CtxSwitch) })
+	var lastBusy, lastAt sim.Time
+	reg.Gauge(prefix+"busy_frac", func() float64 {
+		now := c.eng.Now()
+		busy := c.stats.Compute + c.stats.StallMem + c.stats.StallFlow
+		// Include the open phase up to now so the gauge does not lag a
+		// long-running chunk.
+		if c.phase != PhaseIdle {
+			busy += now - c.phaseSince
+		}
+		db, dt := busy-lastBusy, now-lastAt
+		lastBusy, lastAt = busy, now
+		if dt <= 0 {
+			return 0
+		}
+		u := float64(db) / float64(dt)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	})
 }
 
 // Config returns the core's configuration.

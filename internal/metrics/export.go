@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the time series as indented JSON. Map keys marshal in
+// sorted order, so equal runs produce byte-identical output.
+func (ts *TimeSeries) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ts)
+}
+
+// WriteCSV writes the time series as a CSV table: a time_ns column
+// followed by one column per metric in sorted name order.
+func (ts *TimeSeries) WriteCSV(w io.Writer) error {
+	names := ts.Names()
+	if _, err := fmt.Fprintf(w, "time_ns,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for i, t := range ts.TimesNS {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, strconv.FormatInt(t, 10))
+		for _, n := range names {
+			col := ts.Series[n]
+			v := 0.0
+			if i < len(col) {
+				v = col[i]
+			}
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PromName sanitizes a metric name into the Prometheus charset and
+// prefixes it with the simulator namespace: "ip.VD.busy_frac" becomes
+// "vip_ip_VD_busy_frac".
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("vip_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders values in the Prometheus text exposition
+// format (one gauge per metric), in sorted name order.
+func WritePrometheus(w io.Writer, values map[string]float64) error {
+	for _, name := range sortedKeys(values) {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			pn, pn, strconv.FormatFloat(values[name], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Prometheus renders the sampler's latest snapshot in Prometheus text
+// format; empty before the first tick or on a nil sampler.
+func (s *Sampler) Prometheus() []byte {
+	var b strings.Builder
+	b.WriteString("# VIP simulator metrics\n")
+	if s != nil {
+		fmt.Fprintf(&b, "# TYPE vip_sim_time_ns gauge\nvip_sim_time_ns %d\n", int64(s.eng.Now()))
+	}
+	_ = WritePrometheus(&b, s.Latest())
+	return []byte(b.String())
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

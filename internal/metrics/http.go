@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// HTTPServer serves the latest published metrics snapshot over HTTP:
+// GET /metrics returns the Prometheus text exposition, GET /healthz a
+// small JSON liveness document. The simulation thread publishes with
+// Publish; HTTP handlers run on their own goroutines, so the snapshot is
+// guarded by a mutex — the only lock in the simulator, and it is touched
+// only at sampler ticks, never on the event hot path.
+type HTTPServer struct {
+	mu       sync.Mutex
+	prom     []byte
+	publishs uint64
+	started  time.Time
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewHTTPServer returns a server with an empty snapshot. Call Start to
+// bind it to an address, or mount Handler on an existing mux/httptest.
+func NewHTTPServer() *HTTPServer {
+	return &HTTPServer{started: time.Now()}
+}
+
+// Publish replaces the snapshot served at /metrics.
+func (h *HTTPServer) Publish(prom []byte) {
+	h.mu.Lock()
+	h.prom = prom
+	h.publishs++
+	h.mu.Unlock()
+}
+
+// Publishes reports how many snapshots have been published.
+func (h *HTTPServer) Publishes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.publishs
+}
+
+// Handler returns the mux serving /metrics and /healthz.
+func (h *HTTPServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	return mux
+}
+
+func (h *HTTPServer) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	h.mu.Lock()
+	body := h.prom
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if len(body) == 0 {
+		body = []byte("# VIP simulator metrics\n# (no samples published yet)\n")
+	}
+	_, _ = w.Write(body)
+}
+
+func (h *HTTPServer) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	h.mu.Lock()
+	n := h.publishs
+	h.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"snapshots": n,
+		"uptime_s":  time.Since(h.started).Seconds(),
+	})
+}
+
+// Start binds the server to addr (e.g. ":9090") and serves in a
+// background goroutine. It returns the bound address, which is useful
+// with ":0". Errors binding the listener are returned synchronously.
+func (h *HTTPServer) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	h.ln = ln
+	h.srv = &http.Server{Handler: h.Handler()}
+	go func() { _ = h.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, if started.
+func (h *HTTPServer) Close() error {
+	if h.srv == nil {
+		return nil
+	}
+	return h.srv.Close()
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPServerEndpoints(t *testing.T) {
+	h := NewHTTPServer()
+	srv := httptest.NewServer(h.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	// Before any publish, /metrics serves a placeholder.
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	if ctype != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("content type = %q", ctype)
+	}
+	if !strings.Contains(body, "no samples published yet") {
+		t.Errorf("placeholder body = %q", body)
+	}
+
+	h.Publish([]byte("# TYPE vip_x gauge\nvip_x 1\n"))
+	h.Publish([]byte("# TYPE vip_x gauge\nvip_x 2\n"))
+	if h.Publishes() != 2 {
+		t.Errorf("Publishes = %d", h.Publishes())
+	}
+	if _, body, _ = get("/metrics"); !strings.Contains(body, "vip_x 2") {
+		t.Errorf("served snapshot must be the latest: %q", body)
+	}
+
+	code, body, ctype = get("/healthz")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("GET /healthz = %d %q", code, ctype)
+	}
+	var health struct {
+		Status    string  `json:"status"`
+		Snapshots uint64  `json:"snapshots"`
+		UptimeS   float64 `json:"uptime_s"`
+	}
+	if err := json.Unmarshal([]byte(body), &health); err != nil {
+		t.Fatalf("healthz is not JSON: %v", err)
+	}
+	if health.Status != "ok" || health.Snapshots != 2 {
+		t.Errorf("healthz = %+v", health)
+	}
+
+	// Only GET is allowed.
+	resp, err := http.Post(srv.URL+"/metrics", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPServerStartClose(t *testing.T) {
+	h := NewHTTPServer()
+	addr, err := h.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("GET /healthz on live server = %d", resp.StatusCode)
+	}
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close on a never-started server is a no-op.
+	if err := NewHTTPServer().Close(); err != nil {
+		t.Fatal(err)
+	}
+}

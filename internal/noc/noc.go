@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/sim"
 )
 
@@ -28,6 +29,10 @@ type Config struct {
 	SignalLatency sim.Time
 	// DynamicNJPerByte is the SA energy cost of moving one byte.
 	DynamicNJPerByte float64
+
+	// Metrics, when non-nil, receives the fabric's gauges (link
+	// utilization, queue depth, bytes moved).
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the SA used by the platform: a 25.6 GB/s shared
@@ -80,7 +85,36 @@ func NewFabric(eng *sim.Engine, cfg Config, acct *energy.Account) *Fabric {
 	if err := cfg.validate(); err != nil {
 		panic(err)
 	}
-	return &Fabric{eng: eng, cfg: cfg, acct: acct}
+	f := &Fabric{eng: eng, cfg: cfg, acct: acct}
+	f.registerMetrics()
+	return f
+}
+
+// registerMetrics wires the fabric's gauges into the metrics registry
+// (a no-op when metrics are disabled). The utilization gauge is a
+// stateful per-tick delta, like the DRAM bandwidth gauge.
+func (f *Fabric) registerMetrics() {
+	reg := f.cfg.Metrics
+	if !reg.Enabled() {
+		return
+	}
+	reg.Gauge("noc.queue_depth", func() float64 { return float64(len(f.queue)) })
+	reg.Gauge("noc.bytes_total", func() float64 { return float64(f.stats.BytesMoved) })
+	reg.Gauge("noc.transfers_total", func() float64 { return float64(f.stats.Transfers) })
+	var lastBusy, lastAt sim.Time
+	reg.Gauge("noc.link_util", func() float64 {
+		now := f.eng.Now()
+		db, dt := f.stats.Busy-lastBusy, now-lastAt
+		lastBusy, lastAt = f.stats.Busy, now
+		if dt <= 0 {
+			return 0
+		}
+		u := float64(db) / float64(dt)
+		if u > 1 {
+			u = 1
+		}
+		return u
+	})
 }
 
 // Config returns the fabric configuration.

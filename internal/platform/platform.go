@@ -13,6 +13,7 @@ import (
 	"github.com/vipsim/vip/internal/dram"
 	"github.com/vipsim/vip/internal/energy"
 	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/noc"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/trace"
@@ -125,6 +126,11 @@ type Config struct {
 	// Tracer, when non-nil, records IP/CPU timelines for export (see
 	// internal/trace and cmd/viptrace).
 	Tracer trace.Tracer
+
+	// Metrics, when non-nil, collects every component's counters and
+	// gauges (see internal/metrics); nil disables the whole layer at
+	// zero cost.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the Table 3 platform in the given mode.
@@ -194,6 +200,13 @@ func New(cfg Config) *Platform {
 	eng := sim.NewEngine()
 	acct := &energy.Account{}
 	cfg.CPU.Tracer = cfg.Tracer
+	cfg.CPU.Metrics = cfg.Metrics
+	cfg.DRAM.Metrics = cfg.Metrics
+	cfg.NOC.Metrics = cfg.Metrics
+	if cfg.Metrics.Enabled() {
+		cfg.Metrics.Gauge("sim.events_fired_total", func() float64 { return float64(eng.Fired()) })
+		cfg.Metrics.Gauge("sim.pending_events", func() float64 { return float64(eng.Pending()) })
+	}
 	p := &Platform{
 		Eng:  eng,
 		Acct: acct,
@@ -221,6 +234,7 @@ func New(cfg Config) *Platform {
 			StallW:        prm.ActiveW * cfg.StallPowerFrac,
 			IdleW:         prm.ActiveW*cfg.IdlePowerFrac + 0.0005,
 			Tracer:        cfg.Tracer,
+			Metrics:       cfg.Metrics,
 		}
 		if cfg.Mode.Virtualized() {
 			ipCfg.Lanes = cfg.VIPLanes
@@ -238,6 +252,10 @@ func (p *Platform) Config() Config { return p.cfg }
 
 // Tracer returns the configured tracer (nil when tracing is off).
 func (p *Platform) Tracer() trace.Tracer { return p.cfg.Tracer }
+
+// Metrics returns the configured metrics registry (nil when metrics are
+// disabled; a nil registry is safe to use).
+func (p *Platform) Metrics() *metrics.Registry { return p.cfg.Metrics }
 
 // Mode returns the platform's system design.
 func (p *Platform) Mode() Mode { return p.cfg.Mode }

@@ -164,12 +164,21 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 
 // Add records one observation.
 func (h *Histogram) Add(v float64) {
-	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
-	if idx < 0 {
-		idx = 0
+	if math.IsNaN(v) {
+		return
 	}
-	if idx >= len(h.Counts) {
+	// Clamp in float space: converting ±Inf (or anything outside int's
+	// range) to int is an undefined conversion in Go, so the bin index
+	// must be bounded before the int() cast, not after.
+	pos := (v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts))
+	var idx int
+	switch {
+	case !(pos > 0): // negative, -Inf, or NaN from a degenerate Lo==Hi range
+		idx = 0
+	case pos >= float64(len(h.Counts)):
 		idx = len(h.Counts) - 1
+	default:
+		idx = int(pos)
 	}
 	h.Counts[idx]++
 	h.n++

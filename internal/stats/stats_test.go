@@ -263,3 +263,22 @@ func TestJainIndexProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestHistogramNonFinite(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	// NaN carries no information — it must be dropped, not binned.
+	h.Add(math.NaN())
+	if h.N() != 0 {
+		t.Errorf("NaN must be rejected, N = %d", h.N())
+	}
+	// Infinities clamp into the edge bins like any out-of-range value;
+	// before the fix int(±Inf) was an undefined conversion.
+	h.Add(math.Inf(+1))
+	h.Add(math.Inf(-1))
+	if h.Counts[0] != 1 || h.Counts[4] != 1 {
+		t.Errorf("±Inf must clamp to edge bins: %v", h.Counts)
+	}
+	if h.N() != 2 {
+		t.Errorf("N = %d, want 2", h.N())
+	}
+}

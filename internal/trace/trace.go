@@ -180,8 +180,10 @@ func (r *Recorder) WriteTimeline(w io.Writer, from, to sim.Time, perChar sim.Tim
 				continue
 			}
 			lo := int((e.Start - from) / perChar)
-			hi := int((e.Start + e.Dur - from) / perChar)
-			for c := lo; c <= hi && c < cols; c++ {
+			// Exclusive upper bound: a span ending exactly on a column
+			// boundary must not paint the following column.
+			hiEx := int((e.Start + e.Dur - from + perChar - 1) / perChar)
+			for c := lo; c < hiEx && c < cols; c++ {
 				if c < 0 {
 					continue
 				}

@@ -159,3 +159,43 @@ func TestMergeConservesDurationProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWriteTimelineSpanBound(t *testing.T) {
+	r := NewRecorder()
+	// Span covering exactly columns 0 and 1 — ends on the column-2
+	// boundary and must not bleed into column 2.
+	r.Span("VD", "compute", 0, 2*sim.Millisecond)
+	var buf bytes.Buffer
+	r.WriteTimeline(&buf, 0, 4*sim.Millisecond, sim.Millisecond)
+	out := buf.String()
+	if !strings.Contains(out, "cc..") {
+		t.Errorf("span must fill exactly its own columns:\n%s", out)
+	}
+	if strings.Contains(out, "ccc") {
+		t.Errorf("span painted past its end:\n%s", out)
+	}
+	// A span that only partially covers its last column still paints it.
+	r2 := NewRecorder()
+	r2.Span("VD", "compute", 0, 2*sim.Millisecond+1)
+	buf.Reset()
+	r2.WriteTimeline(&buf, 0, 4*sim.Millisecond, sim.Millisecond)
+	if !strings.Contains(buf.String(), "ccc.") {
+		t.Errorf("partial column must round up:\n%s", buf.String())
+	}
+}
+
+func TestWriteChromeGolden(t *testing.T) {
+	r := NewRecorder()
+	r.Span("VD", "compute", 1000, 3000)
+	r.Mark("VD", "frame", 3000)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := `[{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"VD"}},` +
+		`{"name":"compute","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"cat":"sim"},` +
+		`{"name":"frame","ph":"i","ts":3,"pid":1,"tid":1,"cat":"sim"}]` + "\n"
+	if got := buf.String(); got != golden {
+		t.Errorf("chrome trace drifted from golden output:\n got: %s\nwant: %s", got, golden)
+	}
+}

@@ -2,10 +2,12 @@ package vip
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"github.com/vipsim/vip/internal/core"
 	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/metrics"
 )
 
 // Result summarises one simulation.
@@ -52,6 +54,7 @@ type Result struct {
 	Rollbacks int
 
 	rep *core.Report
+	ts  *metrics.TimeSeries
 }
 
 // FlowResult is one flow's QoS outcome.
@@ -126,6 +129,51 @@ func (r *Result) IPStats(kind string) (ipcore.Stats, bool) {
 		}
 	}
 	return ipcore.Stats{}, false
+}
+
+// WriteReportJSON writes the full machine-readable report (every counter
+// the run collected, per-flow QoS, energy breakdown, simulator
+// self-profile) as indented JSON that round-trips through encoding/json.
+func (r *Result) WriteReportJSON(w io.Writer) error { return r.rep.WriteJSON(w) }
+
+// HasTimeSeries reports whether the run sampled metric time series
+// (Scenario.MetricsInterval > 0).
+func (r *Result) HasTimeSeries() bool { return r.ts != nil }
+
+// MetricNames lists the sampled metric names in sorted order; nil when
+// metrics were disabled.
+func (r *Result) MetricNames() []string { return r.ts.Names() }
+
+// MetricSamples reports how many sampler ticks the run took.
+func (r *Result) MetricSamples() int { return r.ts.Len() }
+
+// MetricSeries returns the sampled values of one metric (nil when the
+// metric or the series is absent). The slice is shared; do not mutate.
+func (r *Result) MetricSeries(name string) []float64 {
+	if r.ts == nil {
+		return nil
+	}
+	return r.ts.Series[name]
+}
+
+// WriteTimeSeriesJSON writes the sampled time series as JSON. Two runs
+// of the same scenario and seed produce byte-identical output. It fails
+// when metrics were disabled.
+func (r *Result) WriteTimeSeriesJSON(w io.Writer) error {
+	if r.ts == nil {
+		return fmt.Errorf("vip: no time series (set Scenario.MetricsInterval)")
+	}
+	return r.ts.WriteJSON(w)
+}
+
+// WriteTimeSeriesCSV writes the sampled time series as CSV (a time_ns
+// column plus one column per metric). It fails when metrics were
+// disabled.
+func (r *Result) WriteTimeSeriesCSV(w io.Writer) error {
+	if r.ts == nil {
+		return fmt.Errorf("vip: no time series (set Scenario.MetricsInterval)")
+	}
+	return r.ts.WriteCSV(w)
 }
 
 // Summary renders a human-readable report.

@@ -34,6 +34,7 @@ import (
 
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/trace"
@@ -116,6 +117,16 @@ type Scenario struct {
 	// run (open in ui.perfetto.dev). Keep traced runs short: traces are
 	// sub-frame-granular and grow quickly.
 	ChromeTrace io.Writer
+	// MetricsInterval, when positive, enables the metrics layer: every
+	// component registers its counters and gauges, and a sampler
+	// snapshots them into time series at this simulated period (1 ms is
+	// the conventional choice). Zero disables metrics at zero cost.
+	MetricsInterval Duration
+	// OnMetricsSnapshot, when non-nil (and metrics are enabled), is
+	// called after every sampler tick with the latest Prometheus-format
+	// snapshot; the vipsim -metrics-addr live endpoint publishes from
+	// this hook.
+	OnMetricsSnapshot func(prom []byte)
 }
 
 // expandApps resolves app and workload ids into specs.
@@ -174,6 +185,9 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 		rec = trace.NewRecorder()
 		pcfg.Tracer = rec
 	}
+	if sc.MetricsInterval > 0 {
+		pcfg.Metrics = metrics.NewRegistry()
+	}
 	p := platform.New(pcfg)
 	opts := core.DefaultOptions(mode)
 	if sc.Duration > 0 {
@@ -184,6 +198,12 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 	}
 	if sc.Seed != 0 {
 		opts.Seed = sc.Seed
+	}
+	if sc.MetricsInterval > 0 {
+		opts.MetricsInterval = sc.MetricsInterval
+		if snap := sc.OnMetricsSnapshot; snap != nil {
+			opts.OnMetricsSample = func(s *metrics.Sampler) { snap(s.Prometheus()) }
+		}
 	}
 	r, err := core.NewRunner(p, apps, opts)
 	if err != nil {
@@ -198,7 +218,11 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 			return nil, fmt.Errorf("vip: writing trace: %w", err)
 		}
 	}
-	return newResult(sc, rep), nil
+	res := newResult(sc, rep)
+	if s := r.Sampler(); s != nil {
+		res.ts = s.TimeSeries()
+	}
+	return res, nil
 }
 
 // AppIDs lists the Table 1 application identifiers.

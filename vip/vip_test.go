@@ -222,3 +222,108 @@ func TestChromeTraceOption(t *testing.T) {
 		t.Errorf("trace has only %d events", len(evs))
 	}
 }
+
+// TestMetricsTimeSeries pins the headline observability acceptance: a
+// metered run exports a time series with the paper's key probes at the
+// configured interval, byte-identically across same-seed runs.
+func TestMetricsTimeSeries(t *testing.T) {
+	sc := Scenario{
+		System: SystemVIP, Apps: []string{"A5", "A5"},
+		Duration: 100 * Millisecond, MetricsInterval: Millisecond,
+	}
+	run := func() (*Result, []byte) {
+		t.Helper()
+		res, err := Simulate(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteTimeSeriesJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return res, buf.Bytes()
+	}
+	res, j1 := run()
+	if !res.HasTimeSeries() {
+		t.Fatal("metered run must carry a time series")
+	}
+	if got := res.MetricSamples(); got != 100 {
+		t.Errorf("samples = %d, want 100 (100ms at 1ms)", got)
+	}
+	names := res.MetricNames()
+	if len(names) < 5 {
+		t.Fatalf("only %d metrics: %v", len(names), names)
+	}
+	for _, want := range []string{
+		"dram.bandwidth_bps", "dram.queue_depth", "noc.link_util",
+		"ip.VD.occupancy", "cpu.deep_sleep_frac", "sim.pending_events",
+	} {
+		if res.MetricSeries(want) == nil {
+			t.Errorf("metric %q missing from %d-name series", want, len(names))
+		}
+	}
+	if s := res.MetricSeries("dram.bytes_total"); len(s) > 0 && s[len(s)-1] == 0 {
+		t.Error("dram.bytes_total stayed zero over a video workload")
+	}
+	if _, j2 := run(); !bytes.Equal(j1, j2) {
+		t.Error("same-seed runs must export byte-identical time-series JSON")
+	}
+	var csv bytes.Buffer
+	if err := res.WriteTimeSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "time_ns,") {
+		t.Errorf("csv header = %q", strings.SplitN(csv.String(), "\n", 2)[0])
+	}
+	var rep bytes.Buffer
+	if err := res.WriteReportJSON(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(rep.Bytes()) {
+		t.Error("report JSON invalid")
+	}
+}
+
+// TestMetricsDisabled checks the zero-cost default: no interval, no
+// series, and the writers refuse politely.
+func TestMetricsDisabled(t *testing.T) {
+	res, err := Simulate(Scenario{System: SystemVIP, Apps: []string{"A1"}, Duration: 30 * Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasTimeSeries() || res.MetricNames() != nil || res.MetricSamples() != 0 ||
+		res.MetricSeries("dram.queue_depth") != nil {
+		t.Error("disabled metrics must leave no series")
+	}
+	var buf bytes.Buffer
+	if err := res.WriteTimeSeriesJSON(&buf); err == nil {
+		t.Error("WriteTimeSeriesJSON must fail without MetricsInterval")
+	}
+	if err := res.WriteTimeSeriesCSV(&buf); err == nil {
+		t.Error("WriteTimeSeriesCSV must fail without MetricsInterval")
+	}
+}
+
+// TestMetricsSnapshotHook checks the live-endpoint publishing path: the
+// hook fires once per sampler tick with a Prometheus-format snapshot.
+func TestMetricsSnapshotHook(t *testing.T) {
+	var snaps int
+	var last []byte
+	_, err := Simulate(Scenario{
+		System: SystemVIP, Apps: []string{"A1"},
+		Duration: 20 * Millisecond, MetricsInterval: 5 * Millisecond,
+		OnMetricsSnapshot: func(prom []byte) { snaps++; last = prom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snaps != 4 {
+		t.Errorf("snapshots = %d, want 4 (20ms at 5ms)", snaps)
+	}
+	if !strings.Contains(string(last), "vip_sim_time_ns 20000000") {
+		t.Errorf("last snapshot missing sim time:\n%s", last)
+	}
+	if !strings.Contains(string(last), "vip_dram_bandwidth_bps") {
+		t.Errorf("snapshot missing dram gauge:\n%s", last)
+	}
+}
