@@ -8,8 +8,9 @@
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig5 fig6 fig14 fig15
 // fig16 fig17 fig18 (figNNa/b aliases accepted), "all" for all of the
-// paper's artifacts, or the ablation studies: sched, burst, lanes,
-// patience, ctxcost, subframe, ablation (= all six).
+// paper's artifacts, the ablation studies: sched, burst, lanes,
+// patience, ctxcost, subframe, ablation (= all six), or "fault" — the
+// fault-injection robustness sweep (rate x scheme, recovery on/off).
 package main
 
 import (
@@ -179,6 +180,13 @@ func run(id string, dur sim.Time, seed uint64, jsonOut string) error {
 			artifacts[sec] = sw
 		case "subframe":
 			sw, err := experiments.RunSubframeSweep(dur)
+			if err != nil {
+				return err
+			}
+			sw.Write(out)
+			artifacts[sec] = sw
+		case "fault":
+			sw, err := experiments.RunFaultSweep(dur)
 			if err != nil {
 				return err
 			}

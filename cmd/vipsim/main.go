@@ -10,6 +10,11 @@
 //
 //	vipsim -system vip -apps A5,A5 -metrics-out ts.json -report-json report.json
 //	vipsim -system vip -apps W1 -duration 10s -metrics-addr :9090
+//
+// Fault injection (see the README's Fault injection & recovery section):
+//
+//	vipsim -system vip -apps A5 -fault-rate 1e-4
+//	vipsim -system vip -apps A5 -fault-rate 1e-4 -fault-no-recovery
 package main
 
 import (
@@ -54,6 +59,9 @@ func main() {
 	metricsInterval := flag.Duration("metrics-interval", time.Millisecond, "simulated sampling period for the metrics time series")
 	reportJSON := flag.String("report-json", "", "write the full machine-readable report as JSON to this file")
 	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /healthz on this address during the run, e.g. :9090")
+	faultRate := flag.Float64("fault-rate", 0, "base fault-injection rate (per-job lane-hang probability; scales the whole mix)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault stream seed override (0 = derive from -seed)")
+	faultNoRecovery := flag.Bool("fault-no-recovery", false, "inject faults with watchdogs/retries/quarantine disabled (control arm)")
 	flag.Parse()
 
 	ids := strings.Split(*apps, ",")
@@ -67,6 +75,16 @@ func main() {
 		Seed:            *seed,
 		IdealMemory:     *ideal,
 		LaneBufferBytes: *lane,
+	}
+	if *faultRate < 0 {
+		fmt.Fprintln(os.Stderr, "vipsim: -fault-rate must be non-negative")
+		os.Exit(2)
+	}
+	if *faultRate > 0 {
+		f := vip.UniformFaults(*faultRate)
+		f.Seed = *faultSeed
+		f.DisableRecovery = *faultNoRecovery
+		base.Faults = f
 	}
 	// Any observability output enables the metrics layer.
 	if *metricsOut != "" || *metricsCSV != "" || *reportJSON != "" || *metricsAddr != "" {

@@ -19,6 +19,7 @@ type QoS struct {
 	violated  int
 	dropped   int
 	expired   int
+	failed    int
 
 	totalFlow sim.Time
 	maxFlow   sim.Time
@@ -71,6 +72,17 @@ func (q *QoS) Expired() {
 	q.violated++
 	q.expired++
 }
+
+// Failed records a released frame the driver's recovery layer abandoned
+// after exhausting its retries. Like Expired it counts as a violation
+// without counting as a completion.
+func (q *QoS) Failed() {
+	q.violated++
+	q.failed++
+}
+
+// FailedFrames reports frames abandoned by the recovery layer.
+func (q *QoS) FailedFrames() int { return q.failed }
 
 // Frames reports how many frames were offered (completed + dropped +
 // in flight).

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/vipsim/vip/internal/ipcore"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	cases := []HeaderPacket{
+		{},
+		{IPs: []ipcore.Kind{ipcore.VD, ipcore.DC}, FrameSizeKB: 3110, FrameRate: 60, BurstSize: 5},
+		{IPs: []ipcore.Kind{ipcore.CAM, ipcore.IMG, ipcore.VE, ipcore.MMC},
+			FrameSizeKB: 0xffff, FrameRate: 0xffff, BurstSize: 0xffff,
+			SrcAddr: 0xdeadbeef, DstAddr: 0x01020304},
+	}
+	for _, h := range cases {
+		got, err := DecodeHeaderPacket(h.Encode())
+		if err != nil {
+			t.Fatalf("decode(encode(%+v)): %v", h, err)
+		}
+		if len(got.IPs) != len(h.IPs) {
+			t.Fatalf("round trip changed IP count: %+v -> %+v", h, got)
+		}
+		for i := range got.IPs {
+			if got.IPs[i] != h.IPs[i] {
+				t.Fatalf("round trip changed IP %d: %+v -> %+v", i, h, got)
+			}
+		}
+		if got.FrameSizeKB != h.FrameSizeKB || got.FrameRate != h.FrameRate ||
+			got.BurstSize != h.BurstSize || got.SrcAddr != h.SrcAddr || got.DstAddr != h.DstAddr {
+			t.Fatalf("round trip changed fields: %+v -> %+v", h, got)
+		}
+	}
+}
+
+func TestHeaderDecodeRejects(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{2, 0},                   // truncated after IP list start
+		{byte(maxHeaderIPs + 1)}, // oversized IP list
+		append([]byte{1, 200}, make([]byte, 14)...), // unknown kind
+		make([]byte, 100), // trailing bytes
+	}
+	for _, b := range bad {
+		if _, err := DecodeHeaderPacket(b); err == nil {
+			t.Fatalf("decode(%v) accepted malformed input", b)
+		}
+	}
+}
+
+// FuzzHeaderDecode drives the wire parser with arbitrary bytes: it must
+// never panic, and any packet it accepts must re-encode to the identical
+// wire bytes (decode is the inverse of encode on the accepted set).
+func FuzzHeaderDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(HeaderPacket{IPs: []ipcore.Kind{ipcore.VD, ipcore.DC},
+		FrameSizeKB: 3110, FrameRate: 60, BurstSize: 5}.Encode())
+	f.Add(HeaderPacket{IPs: []ipcore.Kind{ipcore.CAM, ipcore.IMG, ipcore.VE, ipcore.NW},
+		FrameSizeKB: 708, FrameRate: 30, BurstSize: 10, SrcAddr: 0x1000, DstAddr: 0x2000}.Encode())
+	f.Add([]byte{1, 200, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := DecodeHeaderPacket(b)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(h.Encode(), b) {
+			t.Fatalf("accepted packet does not round-trip: %v -> %+v -> %v", b, h, h.Encode())
+		}
+	})
+}

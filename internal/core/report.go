@@ -11,6 +11,7 @@ import (
 	"github.com/vipsim/vip/internal/cpu"
 	"github.com/vipsim/vip/internal/dram"
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/fault"
 	"github.com/vipsim/vip/internal/ipcore"
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
@@ -100,10 +101,83 @@ type Report struct {
 	// Sim is the simulator's self-profile (engine throughput, heap).
 	Sim SimProfile
 
+	// Faults summarises fault injection and recovery; nil (and omitted
+	// from JSON) when the run had neither an injector nor recovery, so
+	// fault-free reports keep their exact shape.
+	Faults *FaultReport `json:",omitempty"`
+
 	// Counters and Distributions snapshot the metrics registry at the
 	// end of the run; empty when metrics were disabled.
 	Counters      map[string]float64             `json:",omitempty"`
 	Distributions map[string]metrics.DistSummary `json:",omitempty"`
+}
+
+// FaultReport aggregates injected faults and the recovery work they
+// triggered across the hardware and driver layers.
+type FaultReport struct {
+	// Injected counts faults drawn by the injector, per model.
+	Injected fault.Counts
+
+	// Hardware-side recovery, summed over IPs.
+	Hangs         uint64
+	WatchdogFires uint64
+	LaneResets    uint64
+	Quarantines   uint64
+	Repairs       uint64
+	Aborts        uint64
+
+	// Memory and fabric retries.
+	ECCRetries     uint64
+	NoCRetransmits uint64
+
+	// Driver-side recovery.
+	FrameTimeouts int
+	FrameRetries  int
+	FramesFailed  int
+	DegradedFlows int
+
+	// Hang-to-recovery latency over all lanes.
+	RecoveryCount  uint64
+	RecoveryMeanMS float64
+	RecoveryMaxMS  float64
+}
+
+// buildFaultReport assembles the fault summary, or nil for a fault-free,
+// recovery-free run.
+func (r *Runner) buildFaultReport(rep *Report) *FaultReport {
+	inj := r.p.Injector()
+	if inj == nil && !r.opts.Recovery.Enabled {
+		return nil
+	}
+	fr := &FaultReport{
+		Injected:       inj.Counts(),
+		ECCRetries:     rep.Mem.ECCRetries,
+		NoCRetransmits: r.p.SA.Stats().Retransmits,
+		FrameTimeouts:  r.frameTimeouts,
+		FrameRetries:   r.frameRetries,
+		FramesFailed:   r.framesFailed,
+		DegradedFlows:  r.degradedFlows,
+	}
+	var recTime, recMax sim.Time
+	for _, ip := range rep.IPs {
+		s := ip.Stats
+		fr.Hangs += s.Hangs
+		fr.WatchdogFires += s.WatchdogFires
+		fr.LaneResets += s.LaneResets
+		fr.Quarantines += s.Quarantines
+		fr.Repairs += s.Repairs
+		fr.Aborts += s.Aborts
+		fr.RecoveryCount += s.RecoveryCount
+		recTime += s.RecoveryTime
+		if s.RecoveryMax > recMax {
+			recMax = s.RecoveryMax
+		}
+	}
+	if fr.RecoveryCount > 0 {
+		fr.RecoveryMeanMS = (recTime / sim.Time(fr.RecoveryCount)).Milliseconds()
+	}
+	fr.RecoveryMaxMS = recMax.Milliseconds()
+	return fr
 }
 
 // buildReport assembles the report after a run.
@@ -153,6 +227,7 @@ func (r *Runner) buildReport() *Report {
 	for _, k := range r.p.Kinds() {
 		rep.IPs = append(rep.IPs, IPReport{Kind: k, Stats: r.p.IP(k).Stats()})
 	}
+	rep.Faults = r.buildFaultReport(rep)
 
 	var flowSum sim.Time
 	var flowN int
@@ -236,6 +311,12 @@ func (rep *Report) String() string {
 		rep.AvgBWBps/1e9, rep.Mem.RowHitRate()*100, rep.TimeAbove80*100)
 	fmt.Fprintf(&b, "display: %d frames, avg flow %v, violations %.1f%%\n",
 		rep.DisplayedFrames, rep.AvgFlowTime, rep.ViolationRate*100)
+	if f := rep.Faults; f != nil {
+		fmt.Fprintf(&b, "faults: %d injected (%d hangs), wdog %d fires/%d resets/%d quar; driver %d timeouts/%d retries/%d failed/%d degraded; ecc %d, noc rexmit %d\n",
+			f.Injected.Total(), f.Hangs, f.WatchdogFires, f.LaneResets, f.Quarantines,
+			f.FrameTimeouts, f.FrameRetries, f.FramesFailed, f.DegradedFlows,
+			f.ECCRetries, f.NoCRetransmits)
+	}
 	for _, f := range rep.Flows {
 		mark := " "
 		if f.Display {

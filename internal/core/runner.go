@@ -34,6 +34,25 @@ type Runner struct {
 	mRollbacks     *metrics.Counter
 	dFlowTimeMS    *metrics.Distribution
 	simWallSeconds float64
+
+	// Fault-recovery bookkeeping (see recovery.go); the counters exist
+	// only when the run has an injector or recovery enabled, so
+	// fault-free reports keep their exact shape.
+	frameTimeouts  int
+	frameRetries   int
+	framesFailed   int
+	degradedFlows  int
+	mFrameTimeouts *metrics.Counter
+	mFrameRetries  *metrics.Counter
+	mFramesFailed  *metrics.Counter
+	mDegraded      *metrics.Counter
+}
+
+// trackedJob remembers which IP a submitted job went to, so the recovery
+// layer can abort it there.
+type trackedJob struct {
+	kind ipcore.Kind
+	job  *ipcore.Job
 }
 
 // flowState is the runtime of one application flow.
@@ -57,6 +76,12 @@ type flowState struct {
 	unfinished  map[int]sim.Time    // frame -> nominal release
 	firstJob    map[int]*ipcore.Job // frame -> stage-0 job (traversal start)
 	flicking    bool
+
+	// Recovery state (maps allocated only when recovery is enabled).
+	jobs     map[int][]trackedJob // frame -> in-flight stage jobs
+	attempts map[int]int          // frame -> resubmission count
+	faults   int                  // frame timeouts observed on this flow
+	degraded bool                 // fell back to the Baseline DRAM path
 }
 
 // releaseTime is the nominal release instant of frame i.
@@ -89,6 +114,12 @@ func NewRunner(p *platform.Platform, apps []app.Spec, opts Options) (*Runner, er
 	r.mViolations = reg.Counter("qos.violations_total")
 	r.mRollbacks = reg.Counter("game.rollbacks_total")
 	r.dFlowTimeMS = reg.Distribution("flow.time_ms")
+	if p.Injector() != nil || opts.Recovery.Enabled {
+		r.mFrameTimeouts = reg.Counter("fault.frame_timeouts_total")
+		r.mFrameRetries = reg.Counter("fault.frame_retries_total")
+		r.mFramesFailed = reg.Counter("fault.frames_failed_total")
+		r.mDegraded = reg.Counter("fault.degraded_flows_total")
+	}
 	for ai := range apps {
 		a := &apps[ai]
 		if err := a.Validate(); err != nil {
@@ -107,6 +138,10 @@ func NewRunner(p *platform.Platform, apps []app.Spec, opts Options) (*Runner, er
 				unfinished: make(map[int]sim.Time),
 				firstJob:   make(map[int]*ipcore.Job),
 			}
+			if opts.Recovery.Enabled {
+				fs.jobs = make(map[int][]trackedJob)
+				fs.attempts = make(map[int]int)
+			}
 			fs.ring = opts.MaxBacklog + opts.BurstSize + 2
 			r.allocBuffers(fs)
 			ch, err := r.cm.open(fs.id, f)
@@ -115,6 +150,16 @@ func NewRunner(p *platform.Platform, apps []app.Spec, opts Options) (*Runner, er
 			}
 			fs.chain = ch
 			r.flows = append(r.flows, fs)
+		}
+	}
+	if opts.Recovery.Enabled {
+		// Hardware quarantine notifications flow back into the driver:
+		// reallocate lanes and retry the stranded frames.
+		for _, k := range p.Kinds() {
+			k := k
+			p.IP(k).SetLaneFaultHandler(func(lane int, stranded []*ipcore.Job) {
+				r.onLaneFault(k, lane, stranded)
+			})
 		}
 	}
 	return r, nil
@@ -198,6 +243,12 @@ func (r *Runner) cpuTask(hint int, label string, d sim.Time, then func()) {
 // as stock Linux does — with many apps the ISR load concentrates and
 // queues there, one of the §3.1 inefficiencies.
 func (r *Runner) interrupt(hint int, then func()) {
+	if r.p.Injector().LostInterrupt() {
+		// The completion interrupt vanished (dropped MSI / masked line):
+		// no ISR runs and the driver-side continuation never fires. Only
+		// the recovery layer's frame timeout can rescue the frame.
+		return
+	}
 	c := r.opts.Costs
 	r.p.CPU.Interrupt(0, &cpu.Task{Label: "isr", Duration: c.ISR, Instr: instrFor(c.ISR), OnDone: then})
 }
@@ -216,7 +267,7 @@ func (r *Runner) scheduleNextRelease(fs *flowState) {
 func (r *Runner) releaseGroup(fs *flowState) {
 	mode := r.p.Mode()
 	b := 1
-	if mode.Bursted() {
+	if mode.Bursted() && !fs.degraded {
 		b = r.opts.effectiveBurst(fs.aspec, fs.flicking)
 		if b > r.opts.MaxBacklog {
 			// The driver never submits more frames than its request
@@ -241,6 +292,10 @@ func (r *Runner) releaseGroup(fs *flowState) {
 		fs.inFlight++
 		fs.unfinished[i] = fs.releaseTime(i)
 		frames = append(frames, i)
+		if r.opts.Recovery.Enabled {
+			r.armFrameTimeout(fs, i,
+				fs.releaseTime(i)+fs.period+r.opts.Recovery.frameTimeout(fs.period))
+		}
 	}
 	fs.nextRelease = first + b
 	r.scheduleNextRelease(fs)
@@ -248,6 +303,10 @@ func (r *Runner) releaseGroup(fs *flowState) {
 		return
 	}
 	switch {
+	case fs.degraded:
+		// Repeatedly-faulting chain: this flow fell back to the
+		// per-frame DRAM-staged path (graceful degradation).
+		r.submitBaseline(fs, frames[0])
 	case !mode.Chained() && !mode.Bursted():
 		r.submitBaseline(fs, frames[0])
 	case !mode.Chained() && mode.Bursted():
@@ -267,6 +326,10 @@ func (r *Runner) completeFrame(fs *flowState, frame int) {
 	}
 	delete(fs.unfinished, frame)
 	fs.inFlight--
+	if fs.jobs != nil {
+		delete(fs.jobs, frame)
+		delete(fs.attempts, frame)
+	}
 	start := rel
 	if j, ok := fs.firstJob[frame]; ok && j.Started() {
 		start = j.StartedAt()
@@ -323,6 +386,7 @@ func (r *Runner) makeJob(fs *flowState, frame, s int, chained bool) *ipcore.Job 
 	j := &ipcore.Job{
 		Label:    fmt.Sprintf("%s/%s/s%d/f%d", fs.aspec.ID, fs.spec.Name, s, frame),
 		FlowID:   fs.id,
+		Frame:    frame,
 		InBytes:  fs.spec.StageIn(s),
 		OutBytes: st.OutBytes,
 		Deadline: fs.qos.Deadline(fs.releaseTime(frame)),
@@ -362,6 +426,9 @@ func (r *Runner) makeJob(fs *flowState, frame, s int, chained bool) *ipcore.Job 
 // submitJob queues a stage job on its IP's lane for this flow.
 func (r *Runner) submitJob(fs *flowState, s int, j *ipcore.Job) {
 	kind := fs.spec.Stages[s].Kind
+	if r.opts.Recovery.Enabled {
+		fs.jobs[j.Frame] = append(fs.jobs[j.Frame], trackedJob{kind: kind, job: j})
+	}
 	if err := r.p.IP(kind).Submit(fs.chain.Lanes[s], j); err != nil {
 		panic(fmt.Sprintf("core: submit %s: %v", j.Label, err))
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/fault"
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/sim"
 )
@@ -48,6 +49,11 @@ type Config struct {
 	// Metrics, when non-nil, receives the controller's gauges (queue
 	// depth, consumed bandwidth, row-hit rate).
 	Metrics *metrics.Registry
+
+	// Injector, when non-nil and enabled, delivers transient DRAM errors
+	// per beat: ECC corrects them by re-reading, which extends the
+	// beat's service time and charges an extra activation.
+	Injector *fault.Injector
 }
 
 // DefaultConfig returns the LPDDR3 configuration of Table 3: 4 channels,
@@ -109,6 +115,7 @@ type Stats struct {
 	RowHits     uint64
 	RowMisses   uint64
 	Refreshes   uint64
+	ECCRetries  uint64   `json:",omitempty"` // beats re-read after an injected transient error
 	TotalWait   sim.Time // queueing + service latency summed over requests
 	BusyChannel sim.Time // summed channel busy time (can exceed wall time)
 }
@@ -192,6 +199,9 @@ func (c *Controller) registerMetrics() {
 	reg.Gauge("dram.bytes_total", func() float64 { return float64(c.stats.BytesMoved) })
 	reg.Gauge("dram.requests_total", func() float64 { return float64(c.stats.Requests) })
 	reg.Gauge("dram.row_hit_rate", func() float64 { return c.stats.RowHitRate() })
+	if c.cfg.Injector.Enabled() {
+		reg.Gauge("dram.ecc_retries_total", func() float64 { return float64(c.stats.ECCRetries) })
+	}
 	var lastBytes uint64
 	var lastAt sim.Time
 	reg.Gauge("dram.bandwidth_bps", func() float64 {
@@ -371,6 +381,14 @@ func (c *Controller) startNext(ch *channel) {
 	}
 	transfer := sim.BytesOver(int64(req.Bytes), c.cfg.ChannelBPS)
 	svc := overhead + transfer
+	if extra, ok := c.cfg.Injector.DRAMError(); ok {
+		// Transient error on the beat: ECC corrects it by re-reading,
+		// which holds the channel for the retry latency and re-activates
+		// the row.
+		c.stats.ECCRetries++
+		svc += extra
+		c.acct.Add(energy.DRAMActivate, c.cfg.ActivateNJ*1e-9)
+	}
 
 	ch.busy = true
 	ch.busyAcc += svc

@@ -14,6 +14,7 @@ import (
 
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/fault"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/workload"
@@ -35,6 +36,11 @@ type Config struct {
 	BurstSize int
 	// Seed for the touch models.
 	Seed uint64
+	// Faults, when enabled, injects the configured fault mix.
+	Faults fault.Config
+	// Recovery arms the watchdog/retry/quarantine stack (only meaningful
+	// with Faults enabled).
+	Recovery bool
 }
 
 func (c Config) withDefaults() Config {
@@ -70,13 +76,24 @@ func Run(cfg Config) (*core.Report, error) {
 	if cfg.LaneBufBytes > 0 {
 		pcfg.LaneBufBytes = cfg.LaneBufBytes
 	}
-	p := platform.New(pcfg)
 	opts := core.DefaultOptions(cfg.Mode)
 	opts.Duration = cfg.Duration
 	opts.Seed = cfg.Seed
 	if cfg.BurstSize > 0 {
 		opts.BurstSize = cfg.BurstSize
 	}
+	if cfg.Faults.Enabled() {
+		pcfg.Faults = cfg.Faults
+		if cfg.Recovery {
+			// Same recovery defaults as the public vip facade.
+			pcfg.Watchdog = 5 * sim.Millisecond
+			pcfg.ResetLatency = 50 * sim.Microsecond
+			pcfg.QuarantineAfter = 2
+			pcfg.RepairLatency = 20 * sim.Millisecond
+			opts.Recovery.Enabled = true
+		}
+	}
+	p := platform.New(pcfg)
 	r, err := core.NewRunner(p, specs, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,164 @@
+package fault
+
+import (
+	"testing"
+
+	"github.com/vipsim/vip/internal/metrics"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if _, ok := inj.LaneHang(); ok {
+		t.Fatal("nil injector injected a hang")
+	}
+	if f, ok := inj.Slowdown(); ok || f != 1 {
+		t.Fatal("nil injector injected a slowdown")
+	}
+	if _, ok := inj.DRAMError(); ok {
+		t.Fatal("nil injector injected a DRAM error")
+	}
+	if inj.NoCDrop() || inj.LostInterrupt() || inj.CreditLoss() {
+		t.Fatal("nil injector injected a drop/interrupt/credit fault")
+	}
+	if inj.Counts() != (Counts{}) {
+		t.Fatal("nil injector has non-zero counts")
+	}
+	inj.RegisterMetrics(nil) // must not panic
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{LaneHangRate: -0.1},
+		{LaneHangRate: 1.5, LaneHangMean: sim.Millisecond},
+		{LaneHangRate: 0.1}, // missing mean
+		{LaneHangRate: 0.6, PermanentRate: 0.6, LaneHangMean: sim.Millisecond},
+		{DRAMErrorRate: 0.1}, // missing ECC latency
+		{SlowdownRate: 0.1, SlowdownFactor: 0.5},
+		{NoCDropRate: 2},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d: expected validation error, got nil", i)
+		}
+		if _, err := NewInjector(c); err == nil {
+			t.Errorf("config %d: NewInjector accepted invalid config", i)
+		}
+	}
+	if err := Uniform(0.01, 1).Validate(); err != nil {
+		t.Fatalf("Uniform config invalid: %v", err)
+	}
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	if (Config{}).Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+}
+
+// drain pulls n draws from every fault site and returns the counts.
+func drain(inj *Injector, n int) Counts {
+	for j := 0; j < n; j++ {
+		inj.LaneHang()
+		inj.Slowdown()
+		inj.DRAMError()
+		inj.NoCDrop()
+		inj.LostInterrupt()
+		inj.CreditLoss()
+	}
+	return inj.Counts()
+}
+
+func TestDeterministicSequences(t *testing.T) {
+	cfg := Uniform(0.05, 42)
+	a, err := NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewInjector(cfg)
+	ca, cb := drain(a, 5000), drain(b, 5000)
+	if ca != cb {
+		t.Fatalf("same seed diverged: %+v vs %+v", ca, cb)
+	}
+	if ca.Total() == 0 {
+		t.Fatal("rate 0.05 over 5000 draws injected nothing")
+	}
+	c, _ := NewInjector(Uniform(0.05, 43))
+	if cc := drain(c, 5000); cc == ca {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+// Enabling one model must not perturb another model's stream.
+func TestStreamIndependence(t *testing.T) {
+	base, _ := NewInjector(Config{Seed: 7, NoCDropRate: 0.1})
+	mixed, _ := NewInjector(Config{
+		Seed: 7, NoCDropRate: 0.1,
+		LaneHangRate: 0.2, LaneHangMean: sim.Millisecond,
+	})
+	for j := 0; j < 2000; j++ {
+		mixed.LaneHang()
+		if base.NoCDrop() != mixed.NoCDrop() {
+			t.Fatalf("NoC stream perturbed by lane stream at draw %d", j)
+		}
+	}
+}
+
+func TestRatesRoughlyHonoured(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 9, NoCDropRate: 0.2})
+	n := 20000
+	drops := 0
+	for j := 0; j < n; j++ {
+		if inj.NoCDrop() {
+			drops++
+		}
+	}
+	got := float64(drops) / float64(n)
+	if got < 0.17 || got > 0.23 {
+		t.Fatalf("drop rate %g far from configured 0.2", got)
+	}
+}
+
+func TestHangDurationsPositive(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 3, LaneHangRate: 0.5, LaneHangMean: 2 * sim.Millisecond, PermanentRate: 0.1})
+	seenTransient, seenPermanent := false, false
+	for j := 0; j < 1000; j++ {
+		h, ok := inj.LaneHang()
+		if !ok {
+			continue
+		}
+		if h.Permanent {
+			seenPermanent = true
+			continue
+		}
+		seenTransient = true
+		if h.Duration <= 0 {
+			t.Fatalf("transient hang with non-positive duration %v", h.Duration)
+		}
+	}
+	if !seenTransient || !seenPermanent {
+		t.Fatalf("expected both hang classes (transient=%v permanent=%v)", seenTransient, seenPermanent)
+	}
+	c := inj.Counts()
+	if c.LaneHangs == 0 || c.PermanentHangs == 0 {
+		t.Fatalf("counts not recorded: %+v", c)
+	}
+}
+
+func TestRegisterMetrics(t *testing.T) {
+	inj, _ := NewInjector(Config{Seed: 1, NoCDropRate: 1})
+	reg := metrics.NewRegistry()
+	inj.RegisterMetrics(reg)
+	inj.NoCDrop()
+	inj.NoCDrop()
+	eng := sim.NewEngine()
+	s := metrics.StartSampler(eng, reg, sim.Millisecond, sim.Millisecond)
+	eng.Run(sim.Millisecond)
+	got := s.Latest()
+	if v := got["fault.injected.noc_drops_total"]; v != 2 {
+		t.Fatalf("noc drop gauge = %v, want 2 (latest: %v)", v, got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"github.com/vipsim/vip/internal/dram"
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/fault"
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/noc"
 	"github.com/vipsim/vip/internal/sim"
@@ -97,6 +98,30 @@ type Config struct {
 	// lane occupancy, flow-buffer fill, context switches), prefixed
 	// "ip.<Name>.".
 	Metrics *metrics.Registry
+
+	// Injector, when non-nil and enabled, delivers hardware faults to
+	// this core: lane hangs at compute-chunk boundaries, compute
+	// slowdowns, and flow-control credit losses on its lanes.
+	Injector *fault.Injector
+
+	// Watchdog, when positive, arms a per-lane watchdog timer whenever a
+	// lane hangs: if the hang persists for Watchdog, the core pulses a
+	// lane reset (taking ResetLatency). A reset clears a transient hang;
+	// a permanent hang survives, and after QuarantineAfter consecutive
+	// failed resets the lane is quarantined — taken out of service, its
+	// stranded jobs handed to the driver's lane-fault handler, and
+	// repaired (reinitialised) after RepairLatency.
+	Watchdog        sim.Time
+	ResetLatency    sim.Time
+	QuarantineAfter int
+	RepairLatency   sim.Time
+}
+
+// faultEnabled reports whether any fault machinery (injection or
+// watchdog recovery) is active; fault metrics register only then so that
+// fault-free runs keep byte-identical outputs.
+func (c Config) faultEnabled() bool {
+	return c.Injector.Enabled() || c.Watchdog > 0
 }
 
 func (c Config) validate() error {
@@ -117,6 +142,12 @@ func (c Config) validate() error {
 	}
 	if c.MaxWrites <= 0 || c.Prefetch <= 0 {
 		return fmt.Errorf("ipcore: %s pipelining depths must be positive", c.Name)
+	}
+	if c.Watchdog < 0 || c.ResetLatency < 0 || c.RepairLatency < 0 {
+		return fmt.Errorf("ipcore: %s fault-recovery latencies must be non-negative", c.Name)
+	}
+	if c.QuarantineAfter < 0 {
+		return fmt.Errorf("ipcore: %s QuarantineAfter must be non-negative", c.Name)
 	}
 	return nil
 }
@@ -142,6 +173,18 @@ type Stats struct {
 	BytesIn   uint64
 	BytesOut  uint64
 	CtxSwitch uint64
+
+	// Fault/recovery activity (zero when no injector or watchdog;
+	// omitted from JSON then, keeping fault-free reports bit-identical).
+	Hangs         uint64   `json:",omitempty"` // injected lane hangs observed
+	WatchdogFires uint64   `json:",omitempty"` // watchdog expiries on hung lanes
+	LaneResets    uint64   `json:",omitempty"` // reset pulses delivered
+	Quarantines   uint64   `json:",omitempty"` // lanes taken out of service
+	Repairs       uint64   `json:",omitempty"` // quarantined lanes returned to service
+	Aborts        uint64   `json:",omitempty"` // jobs cancelled by the driver
+	RecoveryCount uint64   `json:",omitempty"` // hang episodes resolved (cleared or quarantined)
+	RecoveryTime  sim.Time `json:",omitempty"`
+	RecoveryMax   sim.Time `json:",omitempty"`
 }
 
 // ActiveTime is the time the IP spent holding a frame: computing plus
@@ -178,6 +221,13 @@ type Core struct {
 	phaseSince  sim.Time
 	stats       Stats
 	perFrameAdj map[*Job]bool // jobs already charged PerFrame
+
+	// onLaneFault is the driver's quarantine notification; it receives
+	// the quarantined lane index and its stranded (incomplete) jobs.
+	onLaneFault func(lane int, stranded []*Job)
+	// recoveryDist records hang-to-resolution latencies (ms) when both
+	// metrics and the fault layer are enabled.
+	recoveryDist *metrics.Distribution
 }
 
 // NewCore builds an IP core. It panics on invalid configuration.
@@ -223,6 +273,15 @@ func (c *Core) registerMetrics() {
 	})
 	reg.Gauge(prefix+"frames_total", func() float64 { return float64(c.stats.Frames) })
 	reg.Gauge(prefix+"ctx_switches_total", func() float64 { return float64(c.stats.CtxSwitch) })
+	if c.cfg.faultEnabled() {
+		reg.Gauge(prefix+"fault.hangs_total", func() float64 { return float64(c.stats.Hangs) })
+		reg.Gauge(prefix+"fault.watchdog_fires_total", func() float64 { return float64(c.stats.WatchdogFires) })
+		reg.Gauge(prefix+"fault.lane_resets_total", func() float64 { return float64(c.stats.LaneResets) })
+		reg.Gauge(prefix+"fault.quarantines_total", func() float64 { return float64(c.stats.Quarantines) })
+		reg.Gauge(prefix+"fault.repairs_total", func() float64 { return float64(c.stats.Repairs) })
+		reg.Gauge(prefix+"fault.aborts_total", func() float64 { return float64(c.stats.Aborts) })
+		c.recoveryDist = reg.Distribution(prefix + "fault.recovery_latency_ms")
+	}
 	var lastBusy, lastAt sim.Time
 	reg.Gauge(prefix+"busy_frac", func() float64 {
 		now := c.eng.Now()
@@ -376,6 +435,9 @@ func (c *Core) chargeBufferAccess(n int, write bool) {
 func (c *Core) runnable(j *Job) bool {
 	if j.done {
 		return false
+	}
+	if j.lane != nil && j.lane.faulted() {
+		return false // lane hung or quarantined: no progress until recovery
 	}
 	if j.Gated {
 		return false
@@ -665,6 +727,11 @@ func (c *Core) dispatch() {
 
 // step performs j's next action (emit pending output, else compute).
 func (c *Core) step(j *Job) {
+	if j.aborted {
+		c.active = nil
+		c.dispatch()
+		return
+	}
 	if j.emitted < j.computed {
 		c.emit(j)
 		return
@@ -674,6 +741,15 @@ func (c *Core) step(j *Job) {
 
 // compute consumes chunk input and runs the datapath for the chunk time.
 func (c *Core) compute(j *Job) {
+	if h, ok := c.cfg.Injector.LaneHang(); ok {
+		// The lane's request context wedged at the chunk boundary: the
+		// chunk never issues. A multi-lane scheduler moves on to other
+		// lanes; a single-lane IP is dead until recovery.
+		c.startHang(j.lane, h)
+		c.active = nil
+		c.dispatch()
+		return
+	}
 	k := j.computed
 	if j.InBytes > 0 && !j.InFromDRAM {
 		// The chunk's input was drained into the latch by the scheduler.
@@ -684,6 +760,9 @@ func (c *Core) compute(j *Job) {
 	if j.ComputeScale > 0 {
 		d = sim.Time(float64(d) * j.ComputeScale)
 	}
+	if mult, ok := c.cfg.Injector.Slowdown(); ok {
+		d = sim.Time(float64(d) * mult)
+	}
 	if !c.perFrameAdj[j] {
 		c.perFrameAdj[j] = true
 		d += c.cfg.PerFrame
@@ -691,6 +770,11 @@ func (c *Core) compute(j *Job) {
 	c.issueReads(j) // keep the prefetcher ahead while computing
 	c.setPhase(PhaseCompute)
 	c.eng.After(d, func() {
+		if j.aborted {
+			c.active = nil
+			c.dispatch()
+			return
+		}
 		j.computed++
 		c.emit(j)
 	})
@@ -698,6 +782,11 @@ func (c *Core) compute(j *Job) {
 
 // emit hands chunk j.emitted to its output path.
 func (c *Core) emit(j *Job) {
+	if j.aborted {
+		c.active = nil
+		c.dispatch()
+		return
+	}
 	k := j.emitted
 	out := j.outChunk(k)
 	switch {
@@ -730,6 +819,14 @@ func (c *Core) emit(j *Job) {
 		j.OutLane.reserve(out)
 		c.setPhase(PhaseStallMem) // SA transfer occupies the producer
 		c.sa.Transfer(out, func() {
+			if j.aborted {
+				// The frame was cancelled while the sub-frame was in
+				// flight: drop it instead of depositing stale bytes.
+				j.OutLane.discardReserved(out)
+				c.active = nil
+				c.dispatch()
+				return
+			}
 			j.OutLane.depositReserved(out)
 			j.OutLane.core.kick()
 			j.emitted++
@@ -774,4 +871,145 @@ func (c *Core) maybeComplete(j *Job) {
 	if j.OnDone != nil {
 		j.OnDone()
 	}
+}
+
+// SetLaneFaultHandler installs the driver's quarantine notification: it
+// fires when a lane is quarantined, with the jobs stranded on it. The
+// handler typically aborts those jobs and resubmits their frames
+// elsewhere.
+func (c *Core) SetLaneFaultHandler(fn func(lane int, stranded []*Job)) {
+	c.onLaneFault = fn
+}
+
+// Abort cancels an incomplete job: it is marked done without firing
+// OnDone, its staged flow-buffer input is flushed, and any in-flight
+// output sub-frames are discarded on arrival. The driver's recovery
+// layer calls this before resubmitting a timed-out frame.
+func (c *Core) Abort(j *Job) {
+	if j == nil || j.done {
+		return
+	}
+	c.stats.Aborts++
+	// head() pops completed jobs, so check headship before marking done.
+	wasHead := j.lane != nil && j.lane.head() == j
+	j.aborted = true
+	j.done = true
+	j.finishedAt = c.eng.Now()
+	delete(c.perFrameAdj, j)
+	if wasHead {
+		// Bytes staged in the flow buffer belong to this frame
+		// (producers only deposit while their consumer is head), so they
+		// are stale now.
+		if j.InBytes > 0 && !j.InFromDRAM {
+			j.lane.flush()
+		}
+		j.lane.notifyWaiters()
+	}
+	if c.active != j {
+		c.kick()
+	}
+	// If j is active, the pending compute/SA callback sees j.aborted and
+	// releases the datapath itself.
+}
+
+// startHang wedges l. A transient hang self-clears after its duration; a
+// permanent one persists until the watchdog path quarantines the lane.
+func (c *Core) startHang(l *Lane, h fault.Hang) {
+	c.stats.Hangs++
+	l.hung = true
+	l.hungPerm = h.Permanent
+	l.hangStart = c.eng.Now()
+	l.hangGen++
+	gen := l.hangGen
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Mark(c.cfg.Name, fmt.Sprintf("fault/hang/lane%d", l.idx), c.eng.Now())
+	}
+	if !h.Permanent {
+		c.eng.After(h.Duration, func() {
+			if l.hangGen == gen && l.hung {
+				c.clearHang(l)
+			}
+		})
+	}
+	if c.cfg.Watchdog > 0 {
+		c.eng.After(c.cfg.Watchdog, func() { c.watchdogFire(l, gen) })
+	}
+}
+
+// clearHang returns a hung lane to service and records the outage.
+func (c *Core) clearHang(l *Lane) {
+	c.recordRecovery(c.eng.Now() - l.hangStart)
+	l.hung = false
+	l.hungPerm = false
+	l.resets = 0
+	l.hangGen++
+	c.kick()
+}
+
+// watchdogFire handles a watchdog expiry on a (possibly still) hung
+// lane: pulse a lane reset, then either clear the hang, quarantine the
+// lane, or re-arm.
+func (c *Core) watchdogFire(l *Lane, gen uint64) {
+	if l.hangGen != gen || !l.hung {
+		return // hang self-cleared before the watchdog expired
+	}
+	c.stats.WatchdogFires++
+	c.eng.After(c.cfg.ResetLatency, func() {
+		if l.hangGen != gen || !l.hung {
+			return
+		}
+		c.stats.LaneResets++
+		l.resets++
+		if !l.hungPerm {
+			c.clearHang(l)
+			return
+		}
+		if c.cfg.QuarantineAfter > 0 && l.resets >= c.cfg.QuarantineAfter {
+			c.quarantineLane(l)
+			return
+		}
+		c.eng.After(c.cfg.Watchdog, func() { c.watchdogFire(l, gen) })
+	})
+}
+
+// quarantineLane takes l out of service after repeated failed resets,
+// hands its stranded jobs to the driver, and schedules the repair that
+// returns it to service.
+func (c *Core) quarantineLane(l *Lane) {
+	c.recordRecovery(c.eng.Now() - l.hangStart)
+	c.stats.Quarantines++
+	l.hung = false
+	l.hungPerm = false
+	l.quarantined = true
+	l.hangGen++
+	if c.cfg.Tracer != nil {
+		c.cfg.Tracer.Mark(c.cfg.Name, fmt.Sprintf("fault/quarantine/lane%d", l.idx), c.eng.Now())
+	}
+	var stranded []*Job
+	for _, j := range l.jobs {
+		if !j.done {
+			stranded = append(stranded, j)
+		}
+	}
+	if c.onLaneFault != nil {
+		c.onLaneFault(l.idx, stranded)
+	}
+	if c.cfg.RepairLatency > 0 {
+		c.eng.After(c.cfg.RepairLatency, func() {
+			c.stats.Repairs++
+			l.quarantined = false
+			l.resets = 0
+			c.kick()
+		})
+	}
+}
+
+// recordRecovery accounts one hang episode's outage duration.
+func (c *Core) recordRecovery(d sim.Time) {
+	c.stats.RecoveryCount++
+	c.stats.RecoveryTime += d
+	if d > c.stats.RecoveryMax {
+		c.stats.RecoveryMax = d
+	}
+	c.recoveryDist.Observe(d.Milliseconds())
 }

@@ -20,6 +20,10 @@ type Job struct {
 	Label string
 	// FlowID groups the jobs of one application flow.
 	FlowID int
+	// Frame is the flow-local frame number this job belongs to; the
+	// driver's recovery layer uses it to map a stranded job back to the
+	// frame it must retry.
+	Frame int
 	// InBytes/OutBytes are the stage's input and output volume.
 	InBytes, OutBytes int
 
@@ -76,6 +80,7 @@ type Job struct {
 	startedAt  sim.Time
 	finishedAt sim.Time
 	done       bool
+	aborted    bool // cancelled by Core.Abort; done without OnDone
 	lane       *Lane
 }
 
@@ -101,6 +106,10 @@ func (j *Job) Validate() error {
 
 // Done reports whether the job has fully completed.
 func (j *Job) Done() bool { return j.done }
+
+// Aborted reports whether the job was cancelled via Core.Abort rather
+// than completing.
+func (j *Job) Aborted() bool { return j.aborted }
 
 // Started reports whether the core has begun processing the job.
 func (j *Job) Started() bool { return j.started }

@@ -1,6 +1,10 @@
 package ipcore
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/vipsim/vip/internal/sim"
+)
 
 // Lane is one virtual channel of an IP core: a job FIFO plus the
 // flow-buffer that receives data from an upstream producer (paper §5.5,
@@ -29,6 +33,14 @@ type Lane struct {
 	// stats
 	deposits uint64
 	maxUsed  int
+
+	// fault state (see core.go's hang/watchdog/quarantine machinery).
+	hung        bool     // lane's request context is stuck
+	hungPerm    bool     // the hang never self-clears and resets fail
+	hangStart   sim.Time // when the current hang began
+	hangGen     uint64   // invalidates stale self-clear/watchdog timers
+	resets      int      // consecutive failed reset attempts
+	quarantined bool     // taken out of service pending repair
 }
 
 // Index reports the lane's position within its core.
@@ -61,6 +73,15 @@ func (l *Lane) head() *Job {
 	}
 	return l.jobs[0]
 }
+
+// Hung reports whether the lane is currently hung on an injected fault.
+func (l *Lane) Hung() bool { return l.hung }
+
+// Quarantined reports whether the lane is out of service pending repair.
+func (l *Lane) Quarantined() bool { return l.quarantined }
+
+// faulted reports whether the lane can serve work right now.
+func (l *Lane) faulted() bool { return l.hung || l.quarantined }
 
 // free reports bytes available for new reservations.
 func (l *Lane) free() int { return l.capBytes - l.used - l.reserved }
@@ -96,13 +117,21 @@ func (l *Lane) consume(n int) {
 	}
 	l.used -= n
 	l.core.chargeBufferAccess(n, false)
-	if len(l.spaceWaiters) > 0 {
-		ws := l.spaceWaiters
-		l.spaceWaiters = nil
-		for _, w := range ws {
-			l.core.sa.Signal(w)
-		}
+	l.deliverSpaceSignals()
+}
+
+// flush discards all buffered bytes — the input of an aborted frame.
+// Reservations in flight stay tracked; their SA callbacks discard them.
+func (l *Lane) flush() { l.used = 0 }
+
+// discardReserved drops an in-flight reservation whose job was aborted,
+// returning the space to the flow-control budget.
+func (l *Lane) discardReserved(n int) {
+	if n > l.reserved {
+		panic(fmt.Sprintf("ipcore: lane %s/%d discard %d exceeds reservation %d", l.core.cfg.Name, l.idx, n, l.reserved))
 	}
+	l.reserved -= n
+	l.deliverSpaceSignals()
 }
 
 // waitForSpace registers a producer wake-up for the next space release.
@@ -114,12 +143,24 @@ func (l *Lane) waitForSpace(fn func()) {
 // the lane's head job changes so producers blocked on consumer identity
 // re-evaluate.
 func (l *Lane) notifyWaiters() {
+	l.deliverSpaceSignals()
+}
+
+// deliverSpaceSignals sends each pending wake-up as a flow-control credit
+// through the SA. Under fault injection a credit can be lost in flight:
+// the producer stays parked until the next space release (or a
+// driver-level frame timeout) re-drives the flow.
+func (l *Lane) deliverSpaceSignals() {
 	if len(l.spaceWaiters) == 0 {
 		return
 	}
 	ws := l.spaceWaiters
 	l.spaceWaiters = nil
 	for _, w := range ws {
+		if l.core.cfg.Injector.CreditLoss() {
+			l.spaceWaiters = append(l.spaceWaiters, w)
+			continue
+		}
 		l.core.sa.Signal(w)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/fault"
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/sim"
 )
@@ -33,6 +34,12 @@ type Config struct {
 	// Metrics, when non-nil, receives the fabric's gauges (link
 	// utilization, queue depth, bytes moved).
 	Metrics *metrics.Registry
+
+	// Injector, when non-nil and enabled, drops/corrupts transfers in
+	// flight: a dropped transfer is detected at delivery (CRC) and
+	// retransmitted at the head of the queue, paying the wire time
+	// again.
+	Injector *fault.Injector
 }
 
 // DefaultConfig returns the SA used by the platform: a 25.6 GB/s shared
@@ -58,10 +65,11 @@ func (c Config) validate() error {
 
 // Stats aggregates fabric activity.
 type Stats struct {
-	Transfers  uint64
-	Signals    uint64
-	BytesMoved uint64
-	Busy       sim.Time
+	Transfers   uint64
+	Signals     uint64
+	BytesMoved  uint64
+	Retransmits uint64 `json:",omitempty"` // transfers re-sent after an injected drop
+	Busy        sim.Time
 }
 
 type transfer struct {
@@ -101,6 +109,9 @@ func (f *Fabric) registerMetrics() {
 	reg.Gauge("noc.queue_depth", func() float64 { return float64(len(f.queue)) })
 	reg.Gauge("noc.bytes_total", func() float64 { return float64(f.stats.BytesMoved) })
 	reg.Gauge("noc.transfers_total", func() float64 { return float64(f.stats.Transfers) })
+	if f.cfg.Injector.Enabled() {
+		reg.Gauge("noc.retransmits_total", func() float64 { return float64(f.stats.Retransmits) })
+	}
 	var lastBusy, lastAt sim.Time
 	reg.Gauge("noc.link_util", func() float64 {
 		now := f.eng.Now()
@@ -157,10 +168,22 @@ func (f *Fabric) serveNext() {
 	d := f.cfg.Latency + sim.BytesOver(int64(tr.bytes), f.cfg.BytesPerSecond)
 	f.stats.Busy += d
 	f.eng.After(d, func() {
+		f.busy = false
+		if f.cfg.Injector.NoCDrop() {
+			// Sub-frame dropped/corrupted in flight: the CRC check at the
+			// receiver fails and the link-level protocol retransmits at
+			// the head of the queue. The wasted wire time and energy were
+			// already paid.
+			f.stats.Retransmits++
+			f.stats.BytesMoved += uint64(tr.bytes)
+			f.acct.Add(energy.SystemAgent, f.cfg.DynamicNJPerByte*float64(tr.bytes)*1e-9)
+			f.queue = append([]transfer{tr}, f.queue...)
+			f.serveNext()
+			return
+		}
 		f.stats.Transfers++
 		f.stats.BytesMoved += uint64(tr.bytes)
 		f.acct.Add(energy.SystemAgent, f.cfg.DynamicNJPerByte*float64(tr.bytes)*1e-9)
-		f.busy = false
 		if tr.onDone != nil {
 			tr.onDone()
 		}

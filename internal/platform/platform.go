@@ -12,6 +12,7 @@ import (
 	"github.com/vipsim/vip/internal/cpu"
 	"github.com/vipsim/vip/internal/dram"
 	"github.com/vipsim/vip/internal/energy"
+	"github.com/vipsim/vip/internal/fault"
 	"github.com/vipsim/vip/internal/ipcore"
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/noc"
@@ -131,6 +132,21 @@ type Config struct {
 	// gauges (see internal/metrics); nil disables the whole layer at
 	// zero cost.
 	Metrics *metrics.Registry
+
+	// Faults configures the deterministic hardware-fault injector wired
+	// through every component (see internal/fault). The zero value
+	// injects nothing and keeps outputs bit-identical to a fault-free
+	// build.
+	Faults fault.Config
+
+	// Hardware fault recovery: Watchdog > 0 arms a per-lane watchdog on
+	// every IP that resets a hung lane after Watchdog (paying
+	// ResetLatency); after QuarantineAfter consecutive failed resets the
+	// lane is quarantined and repaired after RepairLatency.
+	Watchdog        sim.Time
+	ResetLatency    sim.Time
+	QuarantineAfter int
+	RepairLatency   sim.Time
 }
 
 // DefaultConfig returns the Table 3 platform in the given mode.
@@ -175,6 +191,12 @@ func (c Config) validate() error {
 	if len(c.IP) == 0 {
 		return fmt.Errorf("platform: no IP parameters")
 	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
+	}
+	if c.Watchdog < 0 || c.ResetLatency < 0 || c.RepairLatency < 0 || c.QuarantineAfter < 0 {
+		return fmt.Errorf("platform: fault-recovery parameters must be non-negative")
+	}
 	return nil
 }
 
@@ -188,7 +210,8 @@ type Platform struct {
 
 	cfg  Config
 	ips  map[ipcore.Kind]*ipcore.Core
-	next uint64 // bump allocator for frame buffers
+	inj  *fault.Injector // nil unless cfg.Faults enables a model
+	next uint64          // bump allocator for frame buffers
 }
 
 // New assembles a platform; it panics on invalid configuration
@@ -199,10 +222,21 @@ func New(cfg Config) *Platform {
 	}
 	eng := sim.NewEngine()
 	acct := &energy.Account{}
+	var inj *fault.Injector
+	if cfg.Faults.Enabled() {
+		var err error
+		inj, err = fault.NewInjector(cfg.Faults)
+		if err != nil {
+			panic(err) // unreachable: validate() checked the config
+		}
+		inj.RegisterMetrics(cfg.Metrics)
+	}
 	cfg.CPU.Tracer = cfg.Tracer
 	cfg.CPU.Metrics = cfg.Metrics
 	cfg.DRAM.Metrics = cfg.Metrics
+	cfg.DRAM.Injector = inj
 	cfg.NOC.Metrics = cfg.Metrics
+	cfg.NOC.Injector = inj
 	if cfg.Metrics.Enabled() {
 		cfg.Metrics.Gauge("sim.events_fired_total", func() float64 { return float64(eng.Fired()) })
 		cfg.Metrics.Gauge("sim.pending_events", func() float64 { return float64(eng.Pending()) })
@@ -215,6 +249,7 @@ func New(cfg Config) *Platform {
 		SA:   noc.NewFabric(eng, cfg.NOC, acct),
 		cfg:  cfg,
 		ips:  make(map[ipcore.Kind]*ipcore.Core, len(cfg.IP)),
+		inj:  inj,
 		next: 1 << 20,
 	}
 	sram := energy.DefaultSRAM()
@@ -236,6 +271,13 @@ func New(cfg Config) *Platform {
 			Tracer:        cfg.Tracer,
 			Metrics:       cfg.Metrics,
 		}
+		if inj != nil || cfg.Watchdog > 0 {
+			ipCfg.Injector = inj
+			ipCfg.Watchdog = cfg.Watchdog
+			ipCfg.ResetLatency = cfg.ResetLatency
+			ipCfg.QuarantineAfter = cfg.QuarantineAfter
+			ipCfg.RepairLatency = cfg.RepairLatency
+		}
 		if cfg.Mode.Virtualized() {
 			ipCfg.Lanes = cfg.VIPLanes
 			ipCfg.Policy = cfg.VIPPolicy
@@ -256,6 +298,10 @@ func (p *Platform) Tracer() trace.Tracer { return p.cfg.Tracer }
 // Metrics returns the configured metrics registry (nil when metrics are
 // disabled; a nil registry is safe to use).
 func (p *Platform) Metrics() *metrics.Registry { return p.cfg.Metrics }
+
+// Injector returns the platform's fault injector (nil when fault
+// injection is disabled; a nil injector is safe to use).
+func (p *Platform) Injector() *fault.Injector { return p.inj }
 
 // Mode returns the platform's system design.
 func (p *Platform) Mode() Mode { return p.cfg.Mode }

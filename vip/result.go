@@ -53,6 +53,14 @@ type Result struct {
 	// landed mid-burst (Figure 11's rollback path).
 	Rollbacks int
 
+	// Fault/recovery summary; zero on fault-free runs.
+	FaultsInjected  uint64 // total faults drawn by the injector
+	FrameTimeouts   int    // stuck frames the driver detected
+	FrameRetries    int    // resubmissions over the baseline path
+	FramesFailed    int    // frames abandoned after the retry budget
+	DegradedFlows   int    // flows that fell back to the baseline path
+	LaneQuarantines uint64 // lanes fenced off after failed resets
+
 	rep *core.Report
 	ts  *metrics.TimeSeries
 }
@@ -100,6 +108,14 @@ func newResult(sc Scenario, rep *core.Report) *Result {
 		if ip.Stats.Frames > 0 {
 			r.IPUtilization[ip.Kind.String()] = ip.Stats.Utilization()
 		}
+	}
+	if f := rep.Faults; f != nil {
+		r.FaultsInjected = f.Injected.Total()
+		r.FrameTimeouts = f.FrameTimeouts
+		r.FrameRetries = f.FrameRetries
+		r.FramesFailed = f.FramesFailed
+		r.DegradedFlows = f.DegradedFlows
+		r.LaneQuarantines = f.Quarantines
 	}
 	for _, f := range rep.Flows {
 		r.Flows = append(r.Flows, FlowResult{
@@ -188,6 +204,11 @@ func (r *Result) Summary() string {
 	fmt.Fprintf(&b, "memory: %.2f GB/s average\n", r.AvgBandwidthGBps)
 	fmt.Fprintf(&b, "display: %d/%d frames, %.2f ms avg flow time, %.1f%% QoS violations\n",
 		r.DisplayedFrames, r.OfferedFrames, r.AvgFlowTimeMS, r.ViolationRate*100)
+	if r.Scenario.Faults != nil {
+		fmt.Fprintf(&b, "faults: %d injected; %d timeouts, %d retries, %d failed, %d degraded flows, %d quarantines\n",
+			r.FaultsInjected, r.FrameTimeouts, r.FrameRetries, r.FramesFailed,
+			r.DegradedFlows, r.LaneQuarantines)
+	}
 	for _, f := range r.Flows {
 		mark := "  "
 		if f.Display {

@@ -34,6 +34,7 @@ import (
 
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/core"
+	"github.com/vipsim/vip/internal/fault"
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
@@ -127,6 +128,139 @@ type Scenario struct {
 	// snapshot; the vipsim -metrics-addr live endpoint publishes from
 	// this hook.
 	OnMetricsSnapshot func(prom []byte)
+	// Faults, when non-nil, enables seeded fault injection and (unless
+	// DisableRecovery is set) the full recovery stack: per-lane hardware
+	// watchdogs, driver frame timeouts with bounded retry, lane
+	// quarantine/reallocation, and graceful chain degradation. Nil runs
+	// are bit-identical to builds without the fault layer.
+	Faults *Faults
+}
+
+// Faults configures the deterministic fault injector. All rates are
+// per-opportunity probabilities in [0,1]; zero-valued fields inject
+// nothing. UniformFaults builds a proportioned mix from one knob.
+type Faults struct {
+	// Seed drives the fault streams independently of Scenario.Seed;
+	// zero derives it from Scenario.Seed.
+	Seed uint64
+
+	// LaneHangRate hangs an IP lane at job-compute start; the hang
+	// clears by itself after ~LaneHangMean (exponential, default 2 ms)
+	// unless the watchdog resets the lane first.
+	LaneHangRate float64
+	// LaneHangMean is the mean transient hang duration (default 2 ms).
+	LaneHangMean Duration
+	// PermanentRate hangs the lane until watchdog reset; lanes that keep
+	// failing reset are quarantined.
+	PermanentRate float64
+	// SlowdownRate multiplies one job's compute time by SlowdownFactor
+	// (default 3) — thermal throttling, DVFS glitches.
+	SlowdownRate float64
+	// SlowdownFactor is the compute-time multiplier (default 3).
+	SlowdownFactor float64
+	// DRAMErrorRate adds an ECC detect+retry penalty to a DRAM request.
+	DRAMErrorRate float64
+	// ECCRetryLatency is the per-error penalty (default 250 ns).
+	ECCRetryLatency Duration
+	// NoCDropRate drops/corrupts a fabric transfer in flight; the
+	// link-level CRC catches it and the transfer is retransmitted.
+	NoCDropRate float64
+	// LostInterruptRate swallows an IP completion interrupt; only the
+	// driver's frame timeout recovers the frame.
+	LostInterruptRate float64
+	// CreditLossRate loses a flow-control credit signal, stalling the
+	// upstream producer until the next credit (or a frame timeout).
+	CreditLossRate float64
+
+	// DisableRecovery injects faults with the whole recovery stack off:
+	// no watchdogs, no frame retries, no quarantine, no degradation.
+	// Frames stuck on a hung lane simply miss their deadlines — the
+	// control arm of the fault experiments.
+	DisableRecovery bool
+}
+
+// UniformFaults builds a proportioned fault mix scaled by one base rate
+// (per-job lane-hang probability). The other models scale relative to it
+// the way their fault opportunities occur in real systems: frequent
+// events (DRAM requests, NoC transfers) get lower per-event rates,
+// rare catastrophic ones (permanent hangs) lower still.
+func UniformFaults(rate float64) *Faults {
+	f := &Faults{}
+	f.fromConfig(fault.Uniform(rate, 0))
+	return f
+}
+
+// config lowers the public Faults to the internal injector config.
+func (f *Faults) config(fallbackSeed uint64) fault.Config {
+	seed := f.Seed
+	if seed == 0 {
+		seed = fallbackSeed ^ 0xfa17
+	}
+	cfg := fault.Config{
+		Seed:              seed,
+		LaneHangRate:      f.LaneHangRate,
+		LaneHangMean:      f.LaneHangMean,
+		PermanentRate:     f.PermanentRate,
+		SlowdownRate:      f.SlowdownRate,
+		SlowdownFactor:    f.SlowdownFactor,
+		DRAMErrorRate:     f.DRAMErrorRate,
+		ECCRetryLatency:   f.ECCRetryLatency,
+		NoCDropRate:       f.NoCDropRate,
+		LostInterruptRate: f.LostInterruptRate,
+		CreditLossRate:    f.CreditLossRate,
+	}
+	if cfg.LaneHangRate > 0 && cfg.LaneHangMean == 0 {
+		cfg.LaneHangMean = 2 * Millisecond
+	}
+	if cfg.SlowdownRate > 0 && cfg.SlowdownFactor == 0 {
+		cfg.SlowdownFactor = 3
+	}
+	if cfg.DRAMErrorRate > 0 && cfg.ECCRetryLatency == 0 {
+		cfg.ECCRetryLatency = 250 * sim.Nanosecond
+	}
+	return cfg
+}
+
+// fromConfig lifts an internal config into the public struct.
+func (f *Faults) fromConfig(cfg fault.Config) {
+	f.Seed = cfg.Seed
+	f.LaneHangRate = cfg.LaneHangRate
+	f.LaneHangMean = cfg.LaneHangMean
+	f.PermanentRate = cfg.PermanentRate
+	f.SlowdownRate = cfg.SlowdownRate
+	f.SlowdownFactor = cfg.SlowdownFactor
+	f.DRAMErrorRate = cfg.DRAMErrorRate
+	f.ECCRetryLatency = cfg.ECCRetryLatency
+	f.NoCDropRate = cfg.NoCDropRate
+	f.LostInterruptRate = cfg.LostInterruptRate
+	f.CreditLossRate = cfg.CreditLossRate
+}
+
+// validate rejects malformed scenarios with descriptive errors before
+// any platform state is built (negative knobs used to be silently
+// ignored; now they fail loudly).
+func (sc Scenario) validate() error {
+	if _, err := sc.System.mode(); err != nil {
+		return err
+	}
+	if sc.Duration < 0 {
+		return fmt.Errorf("vip: Duration must be non-negative (got %v)", sc.Duration)
+	}
+	if sc.BurstSize < 0 {
+		return fmt.Errorf("vip: BurstSize must be non-negative (got %d)", sc.BurstSize)
+	}
+	if sc.LaneBufferBytes < 0 {
+		return fmt.Errorf("vip: LaneBufferBytes must be non-negative (got %d)", sc.LaneBufferBytes)
+	}
+	if sc.MetricsInterval < 0 {
+		return fmt.Errorf("vip: MetricsInterval must be non-negative (got %v)", sc.MetricsInterval)
+	}
+	if f := sc.Faults; f != nil {
+		if err := f.config(1).Validate(); err != nil {
+			return fmt.Errorf("vip: Faults: %w", err)
+		}
+	}
+	return nil
 }
 
 // expandApps resolves app and workload ids into specs.
@@ -169,6 +303,9 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("vip: no applications to simulate")
 	}
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
 	mode, err := sc.System.mode()
 	if err != nil {
 		return nil, err
@@ -188,7 +325,6 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 	if sc.MetricsInterval > 0 {
 		pcfg.Metrics = metrics.NewRegistry()
 	}
-	p := platform.New(pcfg)
 	opts := core.DefaultOptions(mode)
 	if sc.Duration > 0 {
 		opts.Duration = sc.Duration
@@ -199,6 +335,20 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 	if sc.Seed != 0 {
 		opts.Seed = sc.Seed
 	}
+	if f := sc.Faults; f != nil {
+		pcfg.Faults = f.config(opts.Seed)
+		if !f.DisableRecovery {
+			// Recovery defaults: watchdogs fire well past any healthy
+			// job, two failed resets quarantine a lane, and a
+			// quarantined lane comes back after a lengthy repair.
+			pcfg.Watchdog = 5 * Millisecond
+			pcfg.ResetLatency = 50 * sim.Microsecond
+			pcfg.QuarantineAfter = 2
+			pcfg.RepairLatency = 20 * Millisecond
+			opts.Recovery.Enabled = true
+		}
+	}
+	p := platform.New(pcfg)
 	if sc.MetricsInterval > 0 {
 		opts.MetricsInterval = sc.MetricsInterval
 		if snap := sc.OnMetricsSnapshot; snap != nil {
