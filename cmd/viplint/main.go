@@ -1,0 +1,81 @@
+// Command viplint runs the repo's custom static-analysis suite: the
+// determinism, probe-safety and accounting invariants that the
+// simulator's whole evaluation methodology rests on (same seed →
+// byte-identical timelines, metrics and energy ledgers) and that
+// generic linters cannot express.
+//
+// Usage:
+//
+//	go run ./cmd/viplint ./...          # lint the whole module
+//	go run ./cmd/viplint ./internal/sim # lint one package
+//	go run ./cmd/viplint -rules         # list the rules
+//	go run ./cmd/viplint -run maporder,simloop ./...
+//
+// viplint exits 1 when any diagnostic survives; silence intentional
+// violations in place with a justified directive:
+//
+//	t := time.Now() //viplint:allow simdeterminism -- host profiling only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/vipsim/vip/internal/analysis"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the analyzers and exit")
+	run := flag.String("run", "", "comma-separated subset of rules to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: viplint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All()
+	if *run != "" {
+		var err error
+		analyzers, err = analysis.ByName(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "viplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.Load(cwd, flag.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "viplint:", err)
+		os.Exit(2)
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "viplint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "viplint: %d issue(s)\n", found)
+		os.Exit(1)
+	}
+}

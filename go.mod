@@ -1,3 +1,8 @@
 module github.com/vipsim/vip
 
 go 1.23
+
+// Intentionally dependency-free. The viplint analyzer suite
+// (internal/analysis) mirrors the golang.org/x/tools go/analysis API on
+// the standard library alone (go/ast + go/types + source importer), so
+// there is no x/tools version to pin and linting works offline.

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		comment string
+		want    []string
+	}{
+		{"//viplint:allow simdeterminism", []string{"simdeterminism"}},
+		{"//viplint:allow simdeterminism -- host-side profiling", []string{"simdeterminism"}},
+		{"//viplint:allow maporder,simloop -- two rules", []string{"maporder", "simloop"}},
+		{"//viplint:allow maporder, simloop", []string{"maporder", "simloop"}},
+		{"//viplint:allow", nil},          // naming no rule allows nothing
+		{"//viplint:allow -- why", nil},   // justification without a rule
+		{"// viplint:allow simloop", nil}, // directives are not prose comments
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		if got := allowDirective(c.comment); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("allowDirective(%q) = %v, want %v", c.comment, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("maporder, simloop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "maporder" || as[1].Name != "simloop" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nosuchrule"); err == nil || !strings.Contains(err.Error(), "nosuchrule") {
+		t.Fatalf("ByName(nosuchrule) err = %v, want unknown-rule error", err)
+	}
+}
+
+func TestAllHaveDocsAndUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func TestMatchScoping(t *testing.T) {
+	cases := []struct {
+		match func(string) bool
+		path  string
+		want  bool
+	}{
+		{matchSimPackages, ModulePath + "/internal/sim", true},
+		{matchSimPackages, ModulePath + "/internal/ipcore", true},
+		{matchSimPackages, ModulePath + "/internal/metrics", false},
+		{matchSimPackages, ModulePath + "/cmd/vipsim", false},
+		{matchSimPackages, "simloopfixture", true}, // out-of-module fixtures always match
+		{matchNonMain, ModulePath + "/internal/metrics", true},
+		{matchNonMain, ModulePath + "/vip", true},
+		{matchNonMain, ModulePath + "/cmd/vipsim", false},
+		{matchNonMain, ModulePath + "/examples/quickstart", false},
+		{matchNonMain, "fixture", true},
+	}
+	for _, c := range cases {
+		if got := c.match(c.path); got != c.want {
+			t.Errorf("match(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestModuleIsClean is the suite's own regression test: the whole tree
+// must stay viplint-clean, so a PR that reintroduces a violation fails
+// here even before CI's dedicated viplint job runs.
+func TestModuleIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
+		}
+	}
+}

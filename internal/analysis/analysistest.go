@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantQuoted extracts the backquote-free quoted regexps of a
+// `// want "re" "re2"` comment.
+var wantQuoted = regexp.MustCompile("\"([^\"]*)\"|`([^`]*)`")
+
+// fileLine keys expectations and diagnostics by position.
+type fileLine struct {
+	file string
+	line int
+}
+
+// RunFixture type-checks the testdata package in dir, runs one analyzer
+// over it, and matches the surviving diagnostics against `// want "re"`
+// comments on the offending lines: every diagnostic must be expected,
+// and every expectation must be hit. Allow directives are honored
+// before matching, so a fixture line carrying //viplint:allow <rule>
+// and no want comment asserts the escape hatch.
+func RunFixture(t testing.TB, a *Analyzer, dir string) {
+	t.Helper()
+	pkg, err := LoadFixture(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := make(map[fileLine][]*regexp.Regexp)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				collectWants(t, pkg, c, wants)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := fileLine{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re != nil && re.MatchString(d.Message) {
+				wants[k][i] = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Rule, d.Message)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if re != nil {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// collectWants parses one comment for `want` expectations.
+func collectWants(t testing.TB, pkg *Package, c *ast.Comment, wants map[fileLine][]*regexp.Regexp) {
+	t.Helper()
+	rest, ok := strings.CutPrefix(c.Text, "// want ")
+	if !ok {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	for _, m := range wantQuoted.FindAllStringSubmatch(rest, -1) {
+		lit := m[1]
+		if m[2] != "" {
+			lit = m[2]
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, lit, err)
+		}
+		k := fileLine{pos.Filename, pos.Line}
+		wants[k] = append(wants[k], re)
+	}
+}

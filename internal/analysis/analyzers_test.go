@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Each analyzer runs over its testdata fixture: failing cases carry
+// `// want` expectations, blessed idioms carry none, and one line per
+// fixture exercises the //viplint:allow escape hatch.
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestSimDeterminism(t *testing.T) {
+	RunFixture(t, SimDeterminism, fixture("simdeterminism"))
+}
+
+func TestSimLoop(t *testing.T) {
+	RunFixture(t, SimLoop, fixture("simloop"))
+}
+
+func TestMapOrder(t *testing.T) {
+	RunFixture(t, MapOrder, fixture("maporder"))
+}
+
+func TestProbeGuard(t *testing.T) {
+	RunFixture(t, ProbeGuard, fixture("probeguard"))
+}
+
+func TestErrCheckCodec(t *testing.T) {
+	RunFixture(t, ErrCheckCodec, fixture("errcheckcodec"))
+}

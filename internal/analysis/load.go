@@ -1,0 +1,215 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	// Path is the import path (module-relative packages carry the full
+	// module prefix; testdata fixtures use their bare directory name).
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Load parses and type-checks the non-test Go files of every package
+// matched by patterns ("./...", "./dir/...", "./dir"), rooted at the
+// module containing dir. Test files are skipped: the determinism rules
+// police the simulator, and tests legitimately use the wall clock.
+//
+// Dependencies (standard library and module packages alike) are
+// type-checked from source through go/importer, so the loader needs
+// nothing beyond the Go toolchain — no export data, no network, no
+// golang.org/x/tools.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, modPath, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One importer for the whole run: it caches every dependency, so the
+	// module's packages are type-checked once each no matter how many
+	// analyzed packages import them.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, d := range dirs {
+		p, err := loadDir(fset, imp, root, modPath, d)
+		if err != nil {
+			return nil, err
+		}
+		if p != nil {
+			pkgs = append(pkgs, p)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadFixture type-checks a single analyzer-testdata directory. The
+// package keeps its bare directory name as import path, which marks it
+// as out-of-module so every rule applies regardless of scoping.
+func LoadFixture(dir string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return loadDirAs(fset, imp, abs, filepath.Base(abs))
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod and returns the
+// root directory and module path.
+func moduleRoot(dir string) (string, string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// expandPatterns resolves package patterns to package directories.
+func expandPatterns(cwd string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		base := cwd
+		rec := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			rec = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		d := pat
+		if !filepath.IsAbs(d) {
+			d = filepath.Join(base, d)
+		}
+		if !rec {
+			add(d)
+			continue
+		}
+		err := filepath.WalkDir(d, func(path string, de os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !de.IsDir() {
+				return nil
+			}
+			name := de.Name()
+			if path != d && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// loadDir loads the package in dir, deriving its import path from the
+// module layout. Directories with no non-test Go files yield nil.
+func loadDir(fset *token.FileSet, imp types.Importer, root, modPath, dir string) (*Package, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	return loadDirAs(fset, imp, dir, path)
+}
+
+// loadDirAs parses and type-checks the package in dir under the given
+// import path.
+func loadDirAs(fset *token.FileSet, imp types.Importer, dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var terrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { terrs = append(terrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(terrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, terrs[0])
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}

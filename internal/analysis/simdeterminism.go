@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// forbiddenTimeFuncs are the time-package functions that read or wait on
+// the host clock. Any of them inside the simulator desynchronizes two
+// same-seed runs (or, for Sleep, stalls the single-threaded event loop).
+var forbiddenTimeFuncs = map[string]string{
+	"Now":       "reads the host clock",
+	"Sleep":     "blocks the event loop on host time",
+	"Since":     "reads the host clock",
+	"Until":     "reads the host clock",
+	"After":     "creates a host-clock timer",
+	"Tick":      "creates a host-clock ticker",
+	"NewTimer":  "creates a host-clock timer",
+	"NewTicker": "creates a host-clock ticker",
+	"AfterFunc": "runs a callback on host time",
+}
+
+// SimDeterminism forbids host-clock reads and unseeded global randomness
+// in library code: simulated time comes from the sim.Engine clock, and
+// all randomness flows through forked *sim.RNG streams, so that the same
+// seed yields byte-identical timelines, metrics and energy ledgers.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid time.Now/time.Sleep (and friends) and global math/rand " +
+		"functions in simulator packages; derive time from sim.Engine and " +
+		"randomness from forked sim.RNG streams",
+	Match: matchNonMain,
+	Run:   runSimDeterminism,
+}
+
+func runSimDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if why, bad := forbiddenTimeFuncs[fn.Name()]; bad && recvNamed(fn) == nil {
+					pass.Reportf(call.Pos(),
+						"call to time.%s %s and breaks same-seed reproducibility; use the sim.Engine clock",
+						fn.Name(), why)
+				}
+			case "math/rand", "math/rand/v2":
+				// Methods on an explicitly seeded *rand.Rand are tolerated,
+				// as are the New*/NewSource constructors that build one; the
+				// remaining package-level functions draw from the shared
+				// global source, whose sequence depends on every other draw
+				// in the process.
+				if recvNamed(fn) == nil && !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(call.Pos(),
+						"call to global %s.%s draws from process-wide randomness; use a forked *sim.RNG stream",
+						fn.Pkg().Path(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

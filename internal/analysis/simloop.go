@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SimLoop enforces the engine's single-threaded design in the
+// engine-adjacent packages: model state advances only inside events
+// popped from the deterministic queue, so goroutines, channel traffic
+// and select statements there would reintroduce scheduler-dependent
+// ordering (and data races) that no seed can make reproducible.
+var SimLoop = &Analyzer{
+	Name: "simloop",
+	Doc: "forbid goroutine launches, channel operations and select " +
+		"statements in the engine-adjacent packages; the simulator is " +
+		"single-threaded by design and all concurrency is simulated",
+	Match: matchSimPackages,
+	Run:   runSimLoop,
+}
+
+func runSimLoop(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(),
+					"goroutine launched in a simulator package; the event engine is single-threaded by design")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(),
+					"channel send in a simulator package; schedule an event on the sim.Engine instead")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(),
+						"channel receive in a simulator package; schedule an event on the sim.Engine instead")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(),
+					"select statement in a simulator package; the event engine is single-threaded by design")
+			case *ast.RangeStmt:
+				if t := pass.Info.TypeOf(n.X); t != nil {
+					if _, ok := t.Underlying().(*types.Chan); ok {
+						pass.Reportf(n.Pos(),
+							"range over a channel in a simulator package; the event engine is single-threaded by design")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+// Package simdeterminism is the analyzer fixture: host-clock and global
+// randomness in simulator code, and the blessed replacements.
+package simdeterminism
+
+import (
+	"math/rand"
+	"time"
+
+	"github.com/vipsim/vip/internal/sim"
+)
+
+func hostClock() time.Time {
+	time.Sleep(time.Millisecond)     // want `time\.Sleep blocks the event loop`
+	if time.Since(time.Time{}) > 0 { // want `time\.Since reads the host clock`
+		_ = time.Until(time.Time{}) // want `time\.Until reads the host clock`
+	}
+	return time.Now() // want `time\.Now reads the host clock`
+}
+
+func globalRandomness() int {
+	_ = rand.Float64()                 // want `global math/rand\.Float64 draws from process-wide randomness`
+	rand.Shuffle(3, func(i, j int) {}) // want `global math/rand\.Shuffle draws from process-wide randomness`
+	return rand.Intn(7)                // want `global math/rand\.Intn draws from process-wide randomness`
+}
+
+// seededRand is tolerated: an explicitly seeded *rand.Rand is a method
+// receiver, not the process-global source.
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(7)
+}
+
+// engineClock is the blessed pattern: time and randomness flow from the
+// engine's clock and forked RNG streams.
+func engineClock(eng *sim.Engine, rng *sim.RNG) sim.Time {
+	_ = rng.Intn(7)
+	return eng.Now()
+}
+
+// profiled shows the escape hatch for intentional host-clock use.
+func profiled() time.Time {
+	return time.Now() //viplint:allow simdeterminism -- host-side profiling fixture
+}
+
+// timeConstruction is fine: only clock reads and timers are forbidden.
+func timeConstruction() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}

@@ -1,0 +1,43 @@
+// Package simloop is the analyzer fixture: host concurrency inside the
+// single-threaded simulator.
+package simloop
+
+func launches(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine launched in a simulator package` `channel send in a simulator package`
+}
+
+func channelTraffic(ch chan int) int {
+	ch <- 2     // want `channel send in a simulator package`
+	return <-ch // want `channel receive in a simulator package`
+}
+
+func selects(a, b chan int) {
+	select { // want `select statement in a simulator package`
+	case <-a: // want `channel receive in a simulator package`
+	case <-b: // want `channel receive in a simulator package`
+	}
+}
+
+func drains(ch chan int) (sum int) {
+	for v := range ch { // want `range over a channel in a simulator package`
+		sum += v
+	}
+	return sum
+}
+
+// allowed shows the escape hatch (e.g. a host-facing adapter that never
+// runs on the event loop).
+func allowed(done chan struct{}) {
+	go func() {}() //viplint:allow simloop -- host-facing adapter fixture
+	close(done)
+}
+
+// simulated shows the blessed pattern: "concurrency" is events on the
+// engine's deterministic queue, plain method calls here.
+type engine struct{ events []func() }
+
+func (e *engine) at(fn func()) { e.events = append(e.events, fn) }
+
+func simulated(e *engine) {
+	e.at(func() {})
+}

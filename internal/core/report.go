@@ -45,15 +45,17 @@ type IPReport struct {
 
 // SimProfile is the simulator's own performance profile for one run:
 // wall-clock throughput of the event engine and the heap it used. These
-// are measurements of the simulator, not of the simulated platform, so
-// they live in the report (which is not required to be byte-stable)
-// rather than the deterministic time series.
+// are measurements of the simulator, not of the simulated platform. The
+// host-dependent fields are excluded from JSON so that WriteJSON stays
+// byte-identical across same-seed runs (the invariant viplint's
+// simdeterminism rule and vip's reproducibility test enforce); they
+// remain available in memory for the text summary and benchmarks.
 type SimProfile struct {
 	EventsFired       uint64
-	WallSeconds       float64
-	EventsPerWallSec  float64
-	SimPerWallSec     float64 // simulated seconds per wall second
-	HeapAllocBytes    uint64
+	WallSeconds       float64 `json:"-"`
+	EventsPerWallSec  float64 `json:"-"`
+	SimPerWallSec     float64 `json:"-"` // simulated seconds per wall second
+	HeapAllocBytes    uint64  `json:"-"`
 	MetricsSamples    int
 	MetricsIntervalNS int64
 }

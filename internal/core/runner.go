@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"github.com/vipsim/vip/internal/app"
@@ -211,16 +212,25 @@ func (r *Runner) Run() (*Report, error) {
 		r.sampler.OnSample = r.opts.OnMetricsSample
 	}
 
-	wallStart := time.Now()
+	// The wall clock here profiles the simulator itself (engine
+	// throughput); it never feeds simulated state or the report's
+	// deterministic fields.
+	wallStart := time.Now() //viplint:allow simdeterminism -- host-side self-profile only
 	r.p.Eng.Run(r.opts.Duration)
-	r.simWallSeconds = time.Since(wallStart).Seconds()
+	r.simWallSeconds = time.Since(wallStart).Seconds() //viplint:allow simdeterminism -- host-side self-profile only
 	r.p.FinalizeAccounting()
 
 	// Expire frames that were submitted but never finished and are past
-	// their deadline: they are violations.
+	// their deadline: they are violations. Frames expire in frame order
+	// so QoS bookkeeping stays independent of map iteration order.
 	for _, fs := range r.flows {
-		for _, rel := range fs.unfinished {
-			if fs.qos.Deadline(rel) <= r.opts.Duration {
+		frames := make([]int, 0, len(fs.unfinished))
+		for frame := range fs.unfinished {
+			frames = append(frames, frame)
+		}
+		sort.Ints(frames)
+		for _, frame := range frames {
+			if fs.qos.Deadline(fs.unfinished[frame]) <= r.opts.Duration {
 				fs.qos.Expired()
 				r.mViolations.Inc()
 			}

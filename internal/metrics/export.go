@@ -80,7 +80,7 @@ func (s *Sampler) Prometheus() []byte {
 	if s != nil {
 		fmt.Fprintf(&b, "# TYPE vip_sim_time_ns gauge\nvip_sim_time_ns %d\n", int64(s.eng.Now()))
 	}
-	_ = WritePrometheus(&b, s.Latest())
+	_ = WritePrometheus(&b, s.Latest()) //viplint:allow errcheckcodec -- strings.Builder writes cannot fail
 	return []byte(b.String())
 }
 

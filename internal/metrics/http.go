@@ -27,7 +27,9 @@ type HTTPServer struct {
 // NewHTTPServer returns a server with an empty snapshot. Call Start to
 // bind it to an address, or mount Handler on an existing mux/httptest.
 func NewHTTPServer() *HTTPServer {
-	return &HTTPServer{started: time.Now()}
+	// The HTTP liveness endpoint is host-facing observability; its
+	// uptime clock never touches simulated state.
+	return &HTTPServer{started: time.Now()} //viplint:allow simdeterminism -- host-facing /healthz uptime only
 }
 
 // Publish replaces the snapshot served at /metrics.
@@ -80,7 +82,7 @@ func (h *HTTPServer) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"status":    "ok",
 		"snapshots": n,
-		"uptime_s":  time.Since(h.started).Seconds(),
+		"uptime_s":  time.Since(h.started).Seconds(), //viplint:allow simdeterminism -- host-facing /healthz uptime only
 	})
 }
 

@@ -253,7 +253,16 @@ func New(cfg Config) *Platform {
 		next: 1 << 20,
 	}
 	sram := energy.DefaultSRAM()
-	for kind, prm := range cfg.IP {
+	// Cores are built in sorted kind order: construction registers
+	// gauges and numbers engine bookkeeping, so map-order iteration here
+	// would leak Go's randomized map order into the run.
+	kinds := make([]ipcore.Kind, 0, len(cfg.IP))
+	for kind := range cfg.IP {
+		kinds = append(kinds, kind)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, kind := range kinds {
+		prm := cfg.IP[kind]
 		ipCfg := ipcore.Config{
 			Name:          kind.String(),
 			Kind:          kind,
