@@ -9,14 +9,17 @@ package bench
 import (
 	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
 	"github.com/vipsim/vip/internal/experiments"
+	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/vip"
@@ -236,12 +239,85 @@ func BenchmarkFig18(b *testing.B) {
 	report(b, avg[4], "vip_x")
 }
 
+// BenchmarkEngineSchedule measures the engine hot path in isolation: one
+// schedule + one fire per op against a warm, pre-sized queue. With the
+// concrete 4-ary heap this is allocation-free (the paired assertion is
+// internal/sim's TestEngineZeroAllocSteadyState); under the old
+// container/heap queue every op boxed an event into an interface{}.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := sim.NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(sim.Time(i%7), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(3, fn)
+		e.Step()
+	}
+	report(b, float64(e.Fired()), "events_fired")
+}
+
+// BenchmarkEngineChurn stresses both sift directions: four out-of-order
+// schedules and four fires per op over a ~512-deep queue, the shape of a
+// busy multi-app simulation's event mix.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := sim.NewEngine()
+	fn := func() {}
+	for i := 0; i < 512; i++ {
+		e.After(sim.Time((i*37)%101), fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var k sim.Time
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 4; j++ {
+			k++
+			e.After((k*31)%97, fn)
+		}
+		for j := 0; j < 4; j++ {
+			e.Step()
+		}
+	}
+	report(b, float64(e.Fired()), "events_fired")
+}
+
+// BenchmarkSweepParallel runs the full 5-design x 15-scenario mode sweep
+// serially and at the full worker budget; the ns/op ratio between the
+// two sub-benchmarks is the executor's wall-clock speedup on this host
+// (on a single-core host only the serial arm runs).
+func BenchmarkSweepParallel(b *testing.B) {
+	budgets := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		budgets = append(budgets, n)
+	}
+	for _, jobs := range budgets {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			prev := parallel.SetJobs(jobs)
+			defer parallel.SetJobs(prev)
+			var sw *experiments.ModeSweep
+			for i := 0; i < b.N; i++ {
+				var err error
+				sw, err = experiments.RunModeSweep(benchDur)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			_, avg := sw.NormalizedEnergy()
+			report(b, float64(jobs), "jobs")
+			report(b, avg[len(avg)-1], "vip_x")
+		})
+	}
+}
+
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated
 // seconds per wall second for the heaviest scenario (4 video players,
 // baseline).
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	var frames int
 	for i := 0; i < b.N; i++ {
-		_, err := experiments.Run(experiments.Config{
+		rep, err := experiments.Run(experiments.Config{
 			Mode:     platform.Baseline,
 			AppIDs:   []string{"A5", "A5", "A5", "A5"},
 			Duration: 100 * sim.Millisecond,
@@ -249,7 +325,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		frames = rep.DisplayedFrames
 	}
+	report(b, float64(frames), "frames")
 }
 
 // BenchmarkAblationScheduler compares the VIP hardware schedulers (EDF vs

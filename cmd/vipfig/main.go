@@ -5,6 +5,11 @@
 //	vipfig -exp fig15           # one experiment
 //	vipfig -exp all             # everything (several minutes)
 //	vipfig -exp fig3 -duration 300ms
+//	vipfig -exp all -jobs 4     # cap the parallel run executor at 4 workers
+//
+// Independent simulation runs inside each experiment fan out across
+// CPU cores (-jobs, default GOMAXPROCS); output is byte-identical to
+// -jobs 1 because results are slotted back in run order.
 //
 // Experiments: table1 table2 table3 fig2 fig3 fig5 fig6 fig14 fig15
 // fig16 fig17 fig18 (figNNa/b aliases accepted), "all" for all of the
@@ -23,6 +28,7 @@ import (
 	"time"
 
 	"github.com/vipsim/vip/internal/experiments"
+	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/sim"
 )
 
@@ -31,7 +37,10 @@ func main() {
 	duration := flag.Duration("duration", 400*time.Millisecond, "simulated duration per run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", "also write every experiment's data as machine-readable JSON to this file")
+	jobs := flag.Int("jobs", 0, "parallel workers for independent simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	parallel.SetJobs(*jobs)
 
 	dur := sim.Time(duration.Nanoseconds())
 	id := strings.ToLower(strings.TrimSpace(*exp))

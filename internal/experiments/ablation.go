@@ -7,6 +7,7 @@ import (
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/core"
 	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/stats"
@@ -48,6 +49,25 @@ func runCustom(appIDs []string, dur sim.Time, mutPlat func(*platform.Config), mu
 	return r.Run()
 }
 
+// runCustomAll fans one runCustom call per index out on the parallel
+// executor — the index selects the swept parameter value inside the
+// mutators — and returns the reports slotted by index, so every sweep
+// table reads exactly as its serial loop did.
+func runCustomAll(n int, appIDs []string, dur sim.Time,
+	mutPlat func(i int, c *platform.Config), mutOpts func(i int, o *core.Options)) ([]*core.Report, error) {
+	return parallel.Map(n, func(i int) (*core.Report, error) {
+		var mp func(*platform.Config)
+		if mutPlat != nil {
+			mp = func(c *platform.Config) { mutPlat(i, c) }
+		}
+		var mo func(*core.Options)
+		if mutOpts != nil {
+			mo = func(o *core.Options) { mutOpts(i, o) }
+		}
+		return runCustom(appIDs, dur, mp, mo)
+	})
+}
+
 // SchedRow is one hardware-scheduler outcome on a shared-IP workload.
 type SchedRow struct {
 	Policy        ipcore.Policy
@@ -76,12 +96,14 @@ func RunSchedulerStudy(workloadID string, dur sim.Time) (*SchedulerStudy, error)
 		return nil, err
 	}
 	st := &SchedulerStudy{Workload: workloadID}
-	for _, pol := range []ipcore.Policy{ipcore.EDF, ipcore.RR, ipcore.Priority} {
-		pol := pol
-		rep, err := runCustom(w.AppIDs, dur, func(c *platform.Config) { c.VIPPolicy = pol }, nil)
-		if err != nil {
-			return nil, err
-		}
+	policies := []ipcore.Policy{ipcore.EDF, ipcore.RR, ipcore.Priority}
+	reps, err := runCustomAll(len(policies), w.AppIDs, dur,
+		func(i int, c *platform.Config) { c.VIPPolicy = policies[i] }, nil)
+	if err != nil {
+		return nil, err
+	}
+	for pi, pol := range policies {
+		rep := reps[pi]
 		var fps []float64
 		var p99 float64
 		for _, f := range rep.Flows {
@@ -171,14 +193,14 @@ func sweepRow(label string, param float64, rep *core.Report) SweepRow {
 // until the driver queue depth caps them (§4.3).
 func RunBurstSweep(dur sim.Time) (*Sweep, error) {
 	s := &Sweep{Title: "Ablation: frame-burst size, W1 under VIP (paper uses 5)"}
-	for _, b := range []int{1, 2, 3, 5, 7} {
-		b := b
-		rep, err := runCustom([]string{"A5", "A5"}, dur, nil,
-			func(o *core.Options) { o.BurstSize = b })
-		if err != nil {
-			return nil, err
-		}
-		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%d", b), float64(b), rep))
+	bursts := []int{1, 2, 3, 5, 7}
+	reps, err := runCustomAll(len(bursts), []string{"A5", "A5"}, dur, nil,
+		func(i int, o *core.Options) { o.BurstSize = bursts[i] })
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range bursts {
+		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%d", b), float64(b), reps[i]))
 	}
 	return s, nil
 }
@@ -188,14 +210,14 @@ func RunBurstSweep(dur sim.Time) (*Sweep, error) {
 // head-of-line blocking returns (§5.5 supports up to 4 lanes).
 func RunLaneSweep(dur sim.Time) (*Sweep, error) {
 	s := &Sweep{Title: "Ablation: VIP lanes per IP, W2 (3 video apps; paper supports up to 4)"}
-	for _, lanes := range []int{1, 2, 3, 4} {
-		lanes := lanes
-		rep, err := runCustom([]string{"A5", "A7", "A7"}, dur,
-			func(c *platform.Config) { c.VIPLanes = lanes }, nil)
-		if err != nil {
-			return nil, err
-		}
-		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%d", lanes), float64(lanes), rep))
+	laneCounts := []int{1, 2, 3, 4}
+	reps, err := runCustomAll(len(laneCounts), []string{"A5", "A7", "A7"}, dur,
+		func(i int, c *platform.Config) { c.VIPLanes = laneCounts[i] }, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, lanes := range laneCounts {
+		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%d", lanes), float64(lanes), reps[i]))
 	}
 	return s, nil
 }
@@ -205,14 +227,14 @@ func RunLaneSweep(dur sim.Time) (*Sweep, error) {
 // block; a few microseconds restores throughput.
 func RunPatienceSweep(dur sim.Time) (*Sweep, error) {
 	s := &Sweep{Title: "Ablation: EDF switch patience, W1 under VIP"}
-	for _, us := range []int{0, 1, 2, 5, 10, 20} {
-		us := us
-		rep, err := runCustom([]string{"A5", "A5"}, dur,
-			func(c *platform.Config) { c.SwitchPatience = sim.Time(us) * sim.Microsecond }, nil)
-		if err != nil {
-			return nil, err
-		}
-		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%dus", us), float64(us), rep))
+	patiences := []int{0, 1, 2, 5, 10, 20}
+	reps, err := runCustomAll(len(patiences), []string{"A5", "A5"}, dur,
+		func(i int, c *platform.Config) { c.SwitchPatience = sim.Time(patiences[i]) * sim.Microsecond }, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, us := range patiences {
+		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%dus", us), float64(us), reps[i]))
 	}
 	return s, nil
 }
@@ -220,14 +242,14 @@ func RunPatienceSweep(dur sim.Time) (*Sweep, error) {
 // RunCtxCostSweep sweeps the lane context-switch penalty on W1.
 func RunCtxCostSweep(dur sim.Time) (*Sweep, error) {
 	s := &Sweep{Title: "Ablation: lane context-switch cost, W1 under VIP (paper assumes 'a handful of registers')"}
-	for _, us := range []int{0, 1, 2, 5, 10} {
-		us := us
-		rep, err := runCustom([]string{"A5", "A5"}, dur,
-			func(c *platform.Config) { c.CtxSwitch = sim.Time(us) * sim.Microsecond }, nil)
-		if err != nil {
-			return nil, err
-		}
-		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%dus", us), float64(us), rep))
+	costs := []int{0, 1, 2, 5, 10}
+	reps, err := runCustomAll(len(costs), []string{"A5", "A5"}, dur,
+		func(i int, c *platform.Config) { c.CtxSwitch = sim.Time(costs[i]) * sim.Microsecond }, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, us := range costs {
+		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%dus", us), float64(us), reps[i]))
 	}
 	return s, nil
 }
@@ -236,19 +258,19 @@ func RunCtxCostSweep(dur sim.Time) (*Sweep, error) {
 // finer sub-frames react faster but pay more per-transfer overhead.
 func RunSubframeSweep(dur sim.Time) (*Sweep, error) {
 	s := &Sweep{Title: "Ablation: sub-frame granularity, W1 under VIP (paper uses 1KB)"}
-	for _, kb := range []int{1, 2, 4, 8} {
-		kb := kb
-		rep, err := runCustom([]string{"A5", "A5"}, dur,
-			func(c *platform.Config) {
-				c.SubframeBytes = kb << 10
-				if c.LaneBufBytes < 2*c.SubframeBytes {
-					c.LaneBufBytes = 2 * c.SubframeBytes
-				}
-			}, nil)
-		if err != nil {
-			return nil, err
-		}
-		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%dKB", kb), float64(kb), rep))
+	kbs := []int{1, 2, 4, 8}
+	reps, err := runCustomAll(len(kbs), []string{"A5", "A5"}, dur,
+		func(i int, c *platform.Config) {
+			c.SubframeBytes = kbs[i] << 10
+			if c.LaneBufBytes < 2*c.SubframeBytes {
+				c.LaneBufBytes = 2 * c.SubframeBytes
+			}
+		}, nil)
+	if err != nil {
+		return nil, err
+	}
+	for i, kb := range kbs {
+		s.Rows = append(s.Rows, sweepRow(fmt.Sprintf("%dKB", kb), float64(kb), reps[i]))
 	}
 	return s, nil
 }

@@ -15,6 +15,7 @@ import (
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/core"
 	"github.com/vipsim/vip/internal/fault"
+	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 	"github.com/vipsim/vip/internal/workload"
@@ -101,6 +102,18 @@ func Run(cfg Config) (*core.Report, error) {
 	return r.Run()
 }
 
+// RunAll executes every config concurrently on the parallel executor
+// (up to parallel.Jobs() workers) and returns the reports slotted by
+// config index. Each run owns a private engine, platform and RNG tree,
+// so fan-out cannot perturb any result: the returned slice — and on
+// failure, the returned error — is identical to what a serial loop over
+// Run would produce.
+func RunAll(cfgs []Config) ([]*core.Report, error) {
+	return parallel.Map(len(cfgs), func(i int) (*core.Report, error) {
+		return Run(cfgs[i])
+	})
+}
+
 // Scenario is one column of Figures 15-18: a single app (A1-A7) or a
 // Table 2 mix (W1-W8).
 type Scenario struct {
@@ -130,8 +143,8 @@ func ScenarioByID(id string) (Scenario, error) {
 	return Scenario{}, fmt.Errorf("experiments: unknown scenario %q", id)
 }
 
-// geoMeanSafe returns the arithmetic mean of vals (the paper's AVG bars
-// are arithmetic); zero-length input yields 0.
+// mean returns the arithmetic mean of vals (the paper's AVG bars are
+// arithmetic); zero-length input yields 0.
 func mean(vals []float64) float64 {
 	if len(vals) == 0 {
 		return 0

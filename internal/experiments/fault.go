@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/vipsim/vip/internal/fault"
+	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 )
@@ -47,7 +48,9 @@ type FaultSweep struct {
 // rest of the mix scales with it, see fault.Uniform).
 var faultRates = []float64{0, 2e-5, 1e-4, 5e-4, 2e-3}
 
-// RunFaultSweep executes the sweep on a single video player (A5).
+// RunFaultSweep executes the sweep on a single video player (A5). The
+// (arm x rate) grid fans out on the parallel executor; points are
+// slotted back into their arm rows by index.
 func RunFaultSweep(dur sim.Time) (*FaultSweep, error) {
 	f := &FaultSweep{Rates: faultRates}
 	arms := []struct {
@@ -58,16 +61,19 @@ func RunFaultSweep(dur sim.Time) (*FaultSweep, error) {
 		{platform.VIP, true},
 		{platform.VIP, false},
 	}
-	for _, arm := range arms {
-		a := FaultArm{Scheme: arm.mode.String(), Recovery: arm.recovery}
-		for _, rate := range f.Rates {
-			pt, err := runFaultPoint(arm.mode, rate, arm.recovery, dur)
-			if err != nil {
-				return nil, err
-			}
-			a.Points = append(a.Points, pt)
-		}
-		f.Arms = append(f.Arms, a)
+	points, err := parallel.Map(len(arms)*len(f.Rates), func(i int) (FaultPoint, error) {
+		arm := arms[i/len(f.Rates)]
+		return runFaultPoint(arm.mode, f.Rates[i%len(f.Rates)], arm.recovery, dur)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, arm := range arms {
+		f.Arms = append(f.Arms, FaultArm{
+			Scheme:   arm.mode.String(),
+			Recovery: arm.recovery,
+			Points:   points[ai*len(f.Rates) : (ai+1)*len(f.Rates)],
+		})
 	}
 	return f, nil
 }

@@ -31,23 +31,28 @@ type Fig02 struct {
 	FPS            []float64 // achieved FPS per stream
 }
 
-// RunFig02 executes the four baseline runs at both frame rates.
+// RunFig02 executes the four baseline runs at both frame rates. The
+// eight runs fan out on the parallel executor; the normalizations (which
+// depend on the 1-app run) are computed afterwards in paper order.
 func RunFig02(dur sim.Time) (*Fig02, error) {
 	f := &Fig02{Apps: []int{1, 2, 3, 4}}
-	var ePerFrame1, intr1 float64
+	cfgs := make([]Config, 0, 2*len(f.Apps))
 	for _, n := range f.Apps {
 		ids := make([]string, n)
 		for i := range ids {
 			ids[i] = "A5"
 		}
-		rep, err := Run(Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur})
-		if err != nil {
-			return nil, err
-		}
-		rep24, err := Run(Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur, FPSOverride: 24})
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs,
+			Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur},
+			Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur, FPSOverride: 24})
+	}
+	reps, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var ePerFrame1, intr1 float64
+	for k, n := range f.Apps {
+		rep, rep24 := reps[2*k], reps[2*k+1]
 		f.CPUTimeMS60 = append(f.CPUTimeMS60, rep.CPUActiveMSPerSec)
 		f.CPUTimeMS24 = append(f.CPUTimeMS24, rep24.CPUActiveMSPerSec)
 		active := rep.Energy.Get(energy.CPUActive) + rep.Energy.Get(energy.CPUWake)

@@ -32,18 +32,26 @@ type Fig03 struct {
 	TimeAbove80 []float64
 }
 
-// RunFig03 executes the sweep.
+// RunFig03 executes the sweep: the four app-count runs plus the
+// ideal-memory control fan out on the parallel executor.
 func RunFig03(dur sim.Time) (*Fig03, error) {
 	f := &Fig03{Apps: []int{1, 2, 3, 4}}
+	cfgs := make([]Config, 0, len(f.Apps)+1)
 	for _, n := range f.Apps {
 		ids := make([]string, n)
 		for i := range ids {
 			ids[i] = "A5"
 		}
-		rep, err := Run(Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur})
-		if err != nil {
-			return nil, err
-		}
+		cfgs = append(cfgs, Config{Mode: platform.Baseline, AppIDs: ids, Duration: dur})
+	}
+	cfgs = append(cfgs, Config{Mode: platform.Baseline, AppIDs: []string{"A5", "A5", "A5", "A5"},
+		Duration: dur, IdealMemory: true})
+	reps, err := RunAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for k, n := range f.Apps {
+		rep := reps[k]
 		vd := rep.IPStat(ipcore.VD)
 		frames := float64(vd.Frames)
 		if frames == 0 {
@@ -56,11 +64,7 @@ func RunFig03(dur sim.Time) (*Fig03, error) {
 		f.BWHistograms = append(f.BWHistograms, rep.BWHistogram)
 		f.TimeAbove80 = append(f.TimeAbove80, rep.TimeAbove80)
 	}
-	ideal, err := Run(Config{Mode: platform.Baseline, AppIDs: []string{"A5", "A5", "A5", "A5"},
-		Duration: dur, IdealMemory: true})
-	if err != nil {
-		return nil, err
-	}
+	ideal := reps[len(reps)-1]
 	vd := ideal.IPStat(ipcore.VD)
 	frames := float64(vd.Frames)
 	if frames == 0 {

@@ -32,19 +32,22 @@ func RunFig14(dur sim.Time) (*Fig14, error) {
 		SizesA: []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
 		SizesB: []int{512, 1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10},
 	}
-	// "Ideal": a lane big enough to never back-pressure.
-	ideal, err := Run(Config{Mode: platform.IPToIP, AppIDs: []string{"A5"},
+	// Index 0 is the "Ideal" control (a lane big enough to never
+	// back-pressure); the swept sizes follow. All fan out together and
+	// the normalization against Ideal happens once the results are back.
+	cfgs := make([]Config, 0, len(f.SizesA)+1)
+	cfgs = append(cfgs, Config{Mode: platform.IPToIP, AppIDs: []string{"A5"},
 		Duration: dur, LaneBufBytes: 1 << 20})
+	for _, sz := range f.SizesA {
+		cfgs = append(cfgs, Config{Mode: platform.IPToIP, AppIDs: []string{"A5"},
+			Duration: dur, LaneBufBytes: sz})
+	}
+	reps, err := RunAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
-	f.IdealFlow = ideal.AvgFlowTime
-	for _, sz := range f.SizesA {
-		rep, err := Run(Config{Mode: platform.IPToIP, AppIDs: []string{"A5"},
-			Duration: dur, LaneBufBytes: sz})
-		if err != nil {
-			return nil, err
-		}
+	f.IdealFlow = reps[0].AvgFlowTime
+	for _, rep := range reps[1:] {
 		f.FlowTimeNorm = append(f.FlowTimeNorm, float64(rep.AvgFlowTime)/float64(f.IdealFlow))
 	}
 	m := energy.DefaultSRAM()

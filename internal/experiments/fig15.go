@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
 )
@@ -31,29 +32,46 @@ type Cell struct {
 	OfferedFrames   int
 }
 
-// RunModeSweep executes every scenario under every mode.
+// RunModeSweep executes every scenario under every mode. The 75 runs of
+// the grid are independent, so they fan out on the parallel executor;
+// results are slotted back by (scenario, mode) index, keeping every
+// figure, normalization and report byte identical to a serial sweep.
 func RunModeSweep(dur sim.Time) (*ModeSweep, error) {
 	sw := &ModeSweep{Duration: dur, Scenarios: Scenarios()}
+	modes := platform.AllModes()
+	type cellRun struct {
+		sc Scenario
+		m  platform.Mode
+	}
+	runs := make([]cellRun, 0, len(sw.Scenarios)*len(modes))
 	for _, sc := range sw.Scenarios {
-		row := make([]*Cell, 0, len(platform.AllModes()))
-		for _, m := range platform.AllModes() {
-			rep, err := Run(Config{Mode: m, AppIDs: sc.AppIDs, Duration: dur})
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", sc.ID, m, err)
-			}
-			row = append(row, &Cell{
-				EnergyPerFrameJ: rep.EnergyPerFrameJ,
-				CPUEnergyJ:      rep.CPUEnergyJ,
-				Instructions:    rep.CPU.Instructions,
-				Interrupts:      rep.CPU.Interrupts,
-				InterruptsP100:  rep.InterruptsPer100ms,
-				AvgFlowTime:     rep.AvgFlowTime,
-				ViolationRate:   rep.ViolationRate,
-				DisplayedFrames: rep.DisplayedFrames,
-				OfferedFrames:   rep.OfferedFrames,
-			})
+		for _, m := range modes {
+			runs = append(runs, cellRun{sc: sc, m: m})
 		}
-		sw.Cells = append(sw.Cells, row)
+	}
+	cells, err := parallel.Map(len(runs), func(i int) (*Cell, error) {
+		r := runs[i]
+		rep, err := Run(Config{Mode: r.m, AppIDs: r.sc.AppIDs, Duration: dur})
+		if err != nil {
+			return nil, fmt.Errorf("%s/%v: %w", r.sc.ID, r.m, err)
+		}
+		return &Cell{
+			EnergyPerFrameJ: rep.EnergyPerFrameJ,
+			CPUEnergyJ:      rep.CPUEnergyJ,
+			Instructions:    rep.CPU.Instructions,
+			Interrupts:      rep.CPU.Interrupts,
+			InterruptsP100:  rep.InterruptsPer100ms,
+			AvgFlowTime:     rep.AvgFlowTime,
+			ViolationRate:   rep.ViolationRate,
+			DisplayedFrames: rep.DisplayedFrames,
+			OfferedFrames:   rep.OfferedFrames,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range sw.Scenarios {
+		sw.Cells = append(sw.Cells, cells[i*len(modes):(i+1)*len(modes)])
 	}
 	return sw, nil
 }

@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // event is a single scheduled callback.
 type event struct {
@@ -12,38 +9,47 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires strictly before o: earlier timestamp,
+// or FIFO (seq) order at the same instant.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+
+// The event queue is a 4-ary min-heap ordered by (at, seq), stored
+// directly in a []event. Compared to the previous container/heap
+// implementation this removes the interface{} boxing on every Push/Pop
+// (one heap-escaping allocation per scheduled event, millions per run)
+// and halves the tree depth, trading it for a 4-way sibling scan that
+// stays within one cache line of events. Popped slots are explicitly
+// cleared so the closure in a fired event does not stay reachable
+// through the backing array (the old eventHeap.Pop leaked exactly that
+// way: `*h = old[:n-1]` kept old[n-1].fn pinned until the slot was
+// overwritten by a later push).
+
+// defaultQueueCap pre-sizes the queue so steady-state scheduling never
+// grows the backing array. A 4-app scenario peaks at a few hundred
+// in-flight events; 1024 leaves headroom without measurable footprint.
+const defaultQueueCap = 1024
 
 // Engine is a deterministic discrete-event scheduler. The zero value is
-// ready to use; Now starts at 0.
+// ready to use; Now starts at 0. NewEngine additionally pre-sizes the
+// event queue so the scheduling hot path is allocation-free.
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap on (at, seq)
 	// Fired counts events executed, exposed for tests and throughput stats.
 	fired uint64
 }
 
-// NewEngine returns an empty engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+// NewEngine returns an empty engine with the clock at zero and a
+// pre-sized event queue.
+func NewEngine() *Engine {
+	return &Engine{events: make([]event, 0, defaultQueueCap)}
+}
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
@@ -64,7 +70,8 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
+	e.siftUp(len(e.events) - 1)
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -75,13 +82,64 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// siftUp restores the heap property from leaf i toward the root.
+func (e *Engine) siftUp(i int) {
+	ev := e.events[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if e.events[p].before(&ev) {
+			break
+		}
+		e.events[i] = e.events[p]
+		i = p
+	}
+	e.events[i] = ev
+}
+
+// siftDown restores the heap property from the root toward the leaves.
+func (e *Engine) siftDown() {
+	n := len(e.events)
+	ev := e.events[0]
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		min := c
+		for s := c + 1; s < end; s++ {
+			if e.events[s].before(&e.events[min]) {
+				min = s
+			}
+		}
+		if ev.before(&e.events[min]) {
+			break
+		}
+		e.events[i] = e.events[min]
+		i = min
+	}
+	e.events[i] = ev
+}
+
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	n := len(e.events)
+	if n == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events[0]
+	n--
+	e.events[0] = e.events[n]
+	e.events[n] = event{} // unpin the moved event's closure
+	e.events = e.events[:n]
+	if n > 1 {
+		e.siftDown()
+	}
 	e.now = ev.at
 	e.fired++
 	ev.fn()

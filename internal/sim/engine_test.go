@@ -352,6 +352,72 @@ func TestRNGFork(t *testing.T) {
 	}
 }
 
+// TestEngineStepClearsPoppedSlot guards against the retention bug in the
+// old container/heap implementation: eventHeap.Pop shrank the slice with
+// `*h = old[:n-1]`, which kept old[n-1].fn — and everything the closure
+// captured — reachable through the backing array until a later push
+// happened to overwrite the slot. The 4-ary heap clears the vacated slot
+// on every Step, so a drained engine pins no closures.
+func TestEngineStepClearsPoppedSlot(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 16; i++ {
+		payload := make([]byte, 1<<10) // something worth not pinning
+		e.At(Time(i), func() { _ = payload })
+	}
+	e.Drain()
+	spare := e.events[:cap(e.events)]
+	for i := range spare {
+		if spare[i].fn != nil {
+			t.Fatalf("backing-array slot %d still pins an event closure after Drain", i)
+		}
+	}
+}
+
+// TestEngineZeroAllocSteadyState asserts the scheduling hot path is
+// allocation-free once the pre-sized queue is warm: At/After append into
+// the existing backing array and Step pops without boxing, so a
+// schedule+fire round costs zero heap allocations.
+func TestEngineZeroAllocSteadyState(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		e.After(Time(i%7), fn)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(3, fn)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+fire = %v allocs/op, want 0", allocs)
+	}
+	e.Drain()
+}
+
+// TestEngineZeroAllocChurn is the same assertion under churn: a deep
+// queue with out-of-order inserts, four pushes and four pops per round,
+// exercising both sift directions.
+func TestEngineZeroAllocChurn(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	for i := 0; i < 512; i++ {
+		e.After(Time((i*37)%101), fn)
+	}
+	var k Time
+	allocs := testing.AllocsPerRun(1000, func() {
+		for j := Time(0); j < 4; j++ {
+			k++
+			e.After((k*31)%97, fn)
+		}
+		for j := 0; j < 4; j++ {
+			e.Step()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("churn round = %v allocs/op, want 0", allocs)
+	}
+	e.Drain()
+}
+
 func BenchmarkEngineSchedule(b *testing.B) {
 	e := NewEngine()
 	for i := 0; i < b.N; i++ {

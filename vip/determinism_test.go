@@ -2,8 +2,11 @@ package vip_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 
+	"github.com/vipsim/vip/internal/experiments"
+	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/vip"
 )
 
@@ -85,6 +88,63 @@ func TestSameSeedByteIdentical(t *testing.T) {
 	}
 	if len(a.report) == 0 || len(a.tsCSV) == 0 || len(a.chrome) == 0 {
 		t.Fatal("a determinism check over empty artifacts proves nothing")
+	}
+}
+
+// renderSweep captures every consumer-visible byte of a mode sweep: the
+// rendered Figure 15-18 tables and the machine-readable JSON vipfig
+// -json would emit for the "sweep" artifact.
+func renderSweep(t *testing.T, sw *experiments.ModeSweep) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	sw.WriteFig15(&buf)
+	sw.WriteFig16(&buf)
+	sw.WriteFig17(&buf)
+	sw.WriteFig18(&buf)
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(sw); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepParallelMatchesSerial is the parallel executor's contract:
+// fanning the 75 independent runs of RunModeSweep across 8 workers must
+// leave every rendered table and every report byte identical to the
+// serial sweep — parallelism buys wall time, never different numbers.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full 5-design x 15-scenario sweep twice")
+	}
+	const dur = 40 * vip.Millisecond
+
+	prev := parallel.SetJobs(1)
+	defer parallel.SetJobs(prev)
+	serialSweep, err := experiments.RunModeSweep(dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := renderSweep(t, serialSweep)
+
+	parallel.SetJobs(8)
+	parSweep, err := experiments.RunModeSweep(dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := renderSweep(t, parSweep)
+
+	if !bytes.Equal(serial, par) {
+		i := 0
+		for i < len(serial) && i < len(par) && serial[i] == par[i] {
+			i++
+		}
+		lo, hi := max(0, i-120), min(min(len(serial), len(par)), i+120)
+		t.Errorf("-jobs 8 sweep diverges from serial at byte %d:\n serial: …%s…\n jobs=8: …%s…",
+			i, serial[lo:hi], par[lo:hi])
+	}
+	if len(serial) == 0 {
+		t.Fatal("rendered sweep is empty; the comparison proves nothing")
 	}
 }
 
