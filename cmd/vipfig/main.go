@@ -6,6 +6,7 @@
 //	vipfig -exp all             # everything (several minutes)
 //	vipfig -exp fig3 -duration 300ms
 //	vipfig -exp all -jobs 4     # cap the parallel run executor at 4 workers
+//	vipfig -exp all -cache /tmp/vip-results   # skip cells already simulated
 //
 // Independent simulation runs inside each experiment fan out across
 // CPU cores (-jobs, default GOMAXPROCS); output is byte-identical to
@@ -27,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/vipsim/vip/internal/cache"
 	"github.com/vipsim/vip/internal/experiments"
 	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/sim"
@@ -38,9 +40,13 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	jsonOut := flag.String("json", "", "also write every experiment's data as machine-readable JSON to this file")
 	jobs := flag.Int("jobs", 0, "parallel workers for independent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+	cacheDir := flag.String("cache", "", "content-addressed result cache directory; cells already simulated (by an earlier vipfig run or a vipserve sharing the directory) are reused instead of re-run")
 	flag.Parse()
 
 	parallel.SetJobs(*jobs)
+	if *cacheDir != "" {
+		experiments.SetCache(cache.New(4096, *cacheDir))
+	}
 
 	dur := sim.Time(duration.Nanoseconds())
 	id := strings.ToLower(strings.TrimSpace(*exp))

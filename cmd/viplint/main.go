@@ -10,6 +10,7 @@
 //	go run ./cmd/viplint ./internal/sim # lint one package
 //	go run ./cmd/viplint -rules         # list the rules
 //	go run ./cmd/viplint -run maporder,simloop ./...
+//	go run ./cmd/viplint -md .          # check markdown links/anchors instead
 //
 // viplint exits 1 when any diagnostic survives; silence intentional
 // violations in place with a justified directive:
@@ -28,6 +29,7 @@ import (
 func main() {
 	listRules := flag.Bool("rules", false, "list the analyzers and exit")
 	run := flag.String("run", "", "comma-separated subset of rules to run (default: all)")
+	md := flag.String("md", "", "check intra-repo markdown links/anchors under this directory instead of linting Go")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: viplint [flags] [packages]\n")
 		flag.PrintDefaults()
@@ -37,6 +39,22 @@ func main() {
 	if *listRules {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	if *md != "" {
+		probs, err := analysis.CheckMarkdownLinks(*md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "viplint:", err)
+			os.Exit(2)
+		}
+		for _, p := range probs {
+			fmt.Println(p)
+		}
+		if len(probs) > 0 {
+			fmt.Fprintf(os.Stderr, "viplint: %d markdown issue(s)\n", len(probs))
+			os.Exit(1)
 		}
 		return
 	}

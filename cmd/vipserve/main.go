@@ -1,0 +1,76 @@
+// Command vipserve runs the simulator as a long-lived HTTP service with
+// a content-addressed result cache: repeat submissions of the same
+// scenario are answered byte-identical from cache instead of
+// re-simulating, identical in-flight submissions coalesce onto one run,
+// and load beyond the admission queue is shed with a retryable 429.
+//
+// Usage:
+//
+//	vipserve -addr :8080
+//	vipserve -addr :8080 -cache-dir /var/cache/vip -workers 8 -queue 128
+//
+// Then:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/sim -d '{"apps":["A5","A5"],"duration_ms":100}'
+//	curl -s -X POST 'localhost:8080/v1/sim?async=1' -d '{"apps":["W4"]}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/v1/cache/stats
+//	curl -s localhost:8080/metrics | grep vip_serve_
+//
+// See EXPERIMENTS.md for the full endpoint and flag reference, and
+// ARCHITECTURE.md for where the service sits in the stack.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/vipsim/vip/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "simulation workers (0 = CPU count, capped)")
+	queue := flag.Int("queue", 64, "admission queue depth; beyond it requests shed with 429")
+	cacheEntries := flag.Int("cache-entries", 256, "in-memory result cache entries (LRU)")
+	cacheDir := flag.String("cache-dir", "", "optional on-disk result cache directory (persists across restarts)")
+	syncDeadline := flag.Duration("sync-deadline", 60*time.Second, "default deadline of synchronous requests")
+	bulkDeadline := flag.Duration("bulk-deadline", 15*time.Minute, "EDF deadline horizon of async (bulk) requests")
+	maxJobs := flag.Int("max-jobs", 1024, "retained job records for /v1/jobs")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vipserve: unexpected arguments: %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	s := serve.New(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		SyncDeadline: *syncDeadline,
+		BulkDeadline: *bulkDeadline,
+		MaxJobs:      *maxJobs,
+	})
+	bound, err := s.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vipserve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("vipserve listening on %s (queue %d, cache %d entries", bound, *queue, *cacheEntries)
+	if *cacheDir != "" {
+		fmt.Printf(", disk %s", *cacheDir)
+	}
+	fmt.Println(")")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("vipserve: shutting down")
+	_ = s.Close()
+}

@@ -29,20 +29,10 @@ import (
 	"github.com/vipsim/vip/vip"
 )
 
+// parseSystem defers to the library's canonical name resolver so the
+// CLI and the vipserve API accept identical spellings.
 func parseSystem(s string) (vip.System, error) {
-	switch strings.ToLower(s) {
-	case "baseline", "base":
-		return vip.SystemBaseline, nil
-	case "frameburst", "fb", "burst":
-		return vip.SystemFrameBurst, nil
-	case "iptoip", "ip2ip", "chain":
-		return vip.SystemIPToIP, nil
-	case "iptoipburst", "ip2ip+fb", "chainburst":
-		return vip.SystemIPToIPBurst, nil
-	case "vip":
-		return vip.SystemVIP, nil
-	}
-	return 0, fmt.Errorf("unknown system %q (baseline|frameburst|iptoip|iptoipburst|vip)", s)
+	return vip.ParseSystem(s)
 }
 
 func main() {

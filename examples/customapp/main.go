@@ -1,6 +1,6 @@
-// Customapp: build an application that is not in the Table 1 catalog —
+// Command customapp builds an application that is not in the Table 1 catalog —
 // a dashcam-style app that simultaneously records two camera streams and
-// previews one — and size its flow buffers, reproducing the §5.5
+// previews one — and sizes its flow buffers, reproducing the §5.5
 // methodology (Figure 14) on a user-defined workload through the public
 // builder API.
 package main

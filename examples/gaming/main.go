@@ -1,4 +1,4 @@
-// Gaming: how frame bursts interact with user interactivity (§4.3).
+// Command gaming shows how frame bursts interact with user interactivity (§4.3).
 // Game frames are speculated ahead of user input; a touch that lands
 // mid-burst forces a rollback re-computation (Figure 11). This example
 // runs the tap-driven game (A1, Flappy Bird style) under VIP with

@@ -1,5 +1,5 @@
-// Quickstart: simulate a single 4K video player on the conventional
-// (Baseline) platform and on a VIP platform, and compare what the paper's
+// Command quickstart simulates a single 4K video player on the conventional
+// (Baseline) platform and on a VIP platform, and compares what the paper's
 // proposal buys: fewer interrupts, a quieter memory system, less energy
 // per frame.
 package main

@@ -1,4 +1,4 @@
-// Videoconference: the paper's headline multi-application scenario —
+// Command videoconference runs the paper's headline multi-application scenario —
 // watching a 4K video while on a Skype call (workload W4 of Table 2).
 // Two applications contend for the video decoder, GPU and display; this
 // example sweeps all five system designs and shows the crossover the

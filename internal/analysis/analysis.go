@@ -138,6 +138,7 @@ func All() []*Analyzer {
 		ProbeGuard,
 		ErrCheckCodec,
 		SimLoop,
+		PkgDoc,
 	}
 }
 

@@ -32,3 +32,8 @@ func TestProbeGuard(t *testing.T) {
 func TestErrCheckCodec(t *testing.T) {
 	RunFixture(t, ErrCheckCodec, fixture("errcheckcodec"))
 }
+
+func TestPkgDoc(t *testing.T) {
+	RunFixture(t, PkgDoc, fixture("pkgdoc"))
+	RunFixture(t, PkgDoc, fixture("pkgdoc_missing"))
+}

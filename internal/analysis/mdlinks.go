@@ -1,0 +1,198 @@
+package analysis
+
+// Markdown link checking for the repo's documentation. This is not an
+// Analyzer — it reads *.md files, not Go packages — but it lives with
+// the rest of viplint because it serves the same purpose: CI-enforced
+// invariants the toolchain alone cannot check. Docs rot one renamed
+// file at a time; every relative link and heading anchor in the tree is
+// verified so README.md, ARCHITECTURE.md and EXPERIMENTS.md cannot
+// drift apart silently.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// MDProblem is one broken link or anchor.
+type MDProblem struct {
+	File string // repo-relative markdown file
+	Line int    // 1-based
+	Msg  string
+}
+
+func (p MDProblem) String() string {
+	return fmt.Sprintf("%s:%d: %s", p.File, p.Line, p.Msg)
+}
+
+// mdLink matches inline links/images: [text](target) / ![alt](target).
+// Targets with spaces are not used in this repo; the ) delimiter keeps
+// the match tight.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)\)`)
+
+// mdHeading matches ATX headings at line start.
+var mdHeading = regexp.MustCompile("^#{1,6}\\s+(.*)$")
+
+// CheckMarkdownLinks verifies every *.md file under root (skipping
+// .git and testdata): relative link targets must exist on disk, and
+// #anchors — same-file or cross-file — must match a real heading's
+// GitHub slug. External schemes (http:, https:, mailto:) are not
+// checked; the repo's docs promise only that the repo itself is
+// self-consistent. Problems come back sorted by file and line.
+func CheckMarkdownLinks(root string) ([]MDProblem, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(files)
+
+	// First pass: collect every file's heading slugs so cross-file
+	// anchors can be verified.
+	anchors := make(map[string]map[string]bool, len(files))
+	contents := make(map[string][]byte, len(files))
+	for _, f := range files {
+		b, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		contents[f] = b
+		anchors[f] = headingSlugs(string(b))
+	}
+
+	var probs []MDProblem
+	for _, f := range files {
+		rel, _ := filepath.Rel(root, f)
+		inFence := false
+		for i, line := range strings.Split(string(contents[f]), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				if p := checkTarget(root, f, m[1], anchors); p != "" {
+					probs = append(probs, MDProblem{File: rel, Line: i + 1, Msg: p})
+				}
+			}
+		}
+	}
+	sort.Slice(probs, func(i, j int) bool {
+		if probs[i].File != probs[j].File {
+			return probs[i].File < probs[j].File
+		}
+		return probs[i].Line < probs[j].Line
+	})
+	return probs, nil
+}
+
+// checkTarget validates one link target from file src; "" means ok.
+func checkTarget(root, src, target string, anchors map[string]map[string]bool) string {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return "" // external; not ours to verify
+	}
+	path, frag, _ := strings.Cut(target, "#")
+
+	// Resolve the file part.
+	resolved := src
+	if path != "" {
+		if strings.HasPrefix(path, "/") {
+			resolved = filepath.Join(root, path)
+		} else {
+			resolved = filepath.Join(filepath.Dir(src), path)
+		}
+		info, err := os.Stat(resolved)
+		if err != nil {
+			return fmt.Sprintf("broken link %q: %s does not exist", target, path)
+		}
+		if frag != "" && info.IsDir() {
+			return fmt.Sprintf("broken link %q: anchor on a directory", target)
+		}
+	}
+	if frag == "" {
+		return ""
+	}
+
+	slugs, ok := anchors[resolved]
+	if !ok {
+		// Anchor into a non-markdown file (e.g. source). Go files have
+		// no heading anchors; treat as broken.
+		return fmt.Sprintf("broken link %q: %s is not markdown, anchors cannot resolve", target, filepath.Base(resolved))
+	}
+	if !slugs[strings.ToLower(frag)] {
+		return fmt.Sprintf("broken anchor %q: no heading slug %q in %s", target, frag, filepath.Base(resolved))
+	}
+	return ""
+}
+
+// headingSlugs extracts the GitHub anchor slugs of every ATX heading
+// outside code fences, including the "-1" suffixes of duplicates.
+func headingSlugs(doc string) map[string]bool {
+	out := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := mdHeading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[1])
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// slugify lowers a heading to its GitHub anchor: markdown decoration
+// stripped, non-alphanumerics dropped, spaces and hyphens kept as "-".
+func slugify(h string) string {
+	h = strings.TrimSpace(h)
+	for _, cut := range []string{"`", "*", "_", "[", "]"} {
+		h = strings.ReplaceAll(h, cut, "")
+	}
+	// Trailing link targets in headings are rare; the repo does not use
+	// them. Lower and filter.
+	var b strings.Builder
+	for _, r := range strings.ToLower(h) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}

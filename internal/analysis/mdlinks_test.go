@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeMD(t *testing.T, dir, name, content string) {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckMarkdownLinks(t *testing.T) {
+	dir := t.TempDir()
+	writeMD(t, dir, "README.md", strings.Join([]string{
+		"# Title",
+		"## Deep Dive: the `cache` layer!",
+		"ok: [good](docs/other.md)",
+		"ok: [anchor](#deep-dive-the-cache-layer)",
+		"ok: [cross](docs/other.md#section-two)",
+		"ok: [external](https://example.com/nope)",
+		"ok: [dir](docs)",
+		"bad: [gone](missing.md)",
+		"bad: [noanchor](#nope)",
+		"bad: [crossgone](docs/other.md#nope)",
+		"```",
+		"not a [link](inside/a/fence.md)",
+		"```",
+	}, "\n"))
+	writeMD(t, dir, "docs/other.md", "# Other\n## Section Two\nback: [up](../README.md)\n")
+
+	probs, err := CheckMarkdownLinks(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, p := range probs {
+		msgs = append(msgs, p.String())
+	}
+	got := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"README.md:8: broken link \"missing.md\"",
+		"README.md:9: broken anchor \"#nope\"",
+		"README.md:10: broken anchor \"docs/other.md#nope\"",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing problem %q in:\n%s", want, got)
+		}
+	}
+	if len(probs) != 3 {
+		t.Errorf("got %d problems, want 3:\n%s", len(probs), got)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	for in, want := range map[string]string{
+		"Quick start":                  "quick-start",
+		"Deep Dive: the `cache` layer": "deep-dive-the-cache-layer",
+		"vipserve — HTTP service":      "vipserve--http-service",
+		"EDF (earliest deadline)":      "edf-earliest-deadline",
+	} {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestRepoMarkdownLinks keeps the repo's own docs self-consistent: every
+// relative link and anchor in every tracked markdown file must resolve.
+// This is the same check CI's docs job runs via `viplint -md`.
+func TestRepoMarkdownLinks(t *testing.T) {
+	probs, err := CheckMarkdownLinks("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("%s", p)
+	}
+}

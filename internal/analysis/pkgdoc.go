@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// PkgDoc enforces the repo's documentation floor: every package carries
+// a doc comment, and it opens with the canonical prefix ("Package <name>"
+// for libraries, "Command <name>" for binaries), so `go doc` and the
+// ARCHITECTURE.md package index always have a first sentence to show.
+// The rule fires once per package — on the package clause of its first
+// file (alphabetically) — when no file documents the package, and on the
+// offending comment when a doc exists but opens wrong.
+var PkgDoc = &Analyzer{
+	Name: "pkgdoc",
+	Doc: "require a package doc comment opening with \"Package <name>\" " +
+		"(or \"Command <name>\" for main packages) in every package",
+	Run: runPkgDoc,
+}
+
+func runPkgDoc(pass *Pass) error {
+	if len(pass.Files) == 0 {
+		return nil
+	}
+	// Deterministic order: report on the alphabetically first file.
+	files := make([]*ast.File, len(pass.Files))
+	copy(files, pass.Files)
+	sort.Slice(files, func(i, j int) bool {
+		return pass.Fset.Position(files[i].Package).Filename <
+			pass.Fset.Position(files[j].Package).Filename
+	})
+
+	name := files[0].Name.Name
+	want := "Package " + name
+	if name == "main" {
+		want = "Command "
+	}
+
+	documented := false
+	for _, f := range files {
+		if f.Doc == nil {
+			continue
+		}
+		documented = true
+		text := strings.TrimSpace(f.Doc.Text())
+		if !strings.HasPrefix(text, want) {
+			// Anchor on the package clause: doc comments span lines, and
+			// the clause is where allow directives and fixture
+			// expectations can live.
+			pass.Reportf(f.Package,
+				"package comment should open with %q (gofmt/go doc convention)", want)
+		}
+	}
+	if !documented {
+		pass.Reportf(files[0].Package,
+			"package %s has no doc comment; add one opening with %q", name, want)
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+// The pkgdoc fixture: this comment documents the package but opens with
+// the wrong words, so the rule still fires.
+package pkgdoc // want `package comment should open with "Package pkgdoc"`

@@ -1,0 +1,4 @@
+package pkgdoc_missing // want `package pkgdoc_missing has no doc comment`
+
+// A documented symbol does not substitute for a package doc comment.
+var Documented = 1

@@ -1,0 +1,220 @@
+// Package cache is a content-addressed result store for simulation
+// reports: an in-memory LRU over immutable byte payloads, optionally
+// backed by an on-disk store so results survive process restarts and
+// can be shared between vipserve and the experiment runners.
+//
+// Keys are caller-constructed content addresses — by convention
+// "<scenario hash>@<engine version>" (see Key) — so a value is valid
+// forever: the same key can only ever map to the same bytes, which is
+// what makes serving a cached report byte-identical to re-running the
+// simulation. There is consequently no invalidation API, only LRU
+// eviction (memory) and explicit directory removal (disk).
+//
+// The cache is safe for concurrent use by the serving layer's
+// goroutines; the simulator itself never touches it (the engine
+// packages stay single-threaded and lock-free).
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Key builds the conventional content address for a simulation result:
+// the scenario's canonical hash qualified by the engine version, so a
+// model revision can never serve results computed by its predecessor.
+func Key(scenarioHash, engineVersion string) string {
+	return scenarioHash + "@" + sanitize(engineVersion)
+}
+
+// HashBytes returns the hex SHA-256 of b — the convention for deriving
+// the hash half of a Key from a canonical scenario encoding.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// sanitize maps an arbitrary tag onto the filename-safe charset used in
+// on-disk entry names.
+func sanitize(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '@':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	Hits       uint64 `json:"hits"`      // Get served from memory
+	DiskHits   uint64 `json:"disk_hits"` // Get served from the disk store (subset of Hits)
+	Misses     uint64 `json:"misses"`    // Get found nothing
+	Puts       uint64 `json:"puts"`      // values stored
+	Evictions  uint64 `json:"evictions"` // LRU entries dropped from memory
+	Entries    int    `json:"entries"`   // current in-memory entries
+	Bytes      int64  `json:"bytes"`     // current in-memory payload bytes
+	MaxEntries int    `json:"max_entries"`
+}
+
+// entry is one resident value.
+type entry struct {
+	key string
+	val []byte
+}
+
+// Cache is the LRU + optional disk store. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	mu    sync.Mutex
+	max   int
+	dir   string // "" = memory only
+	ll    *list.List
+	items map[string]*list.Element
+	stats Stats
+}
+
+// New returns a cache holding at most maxEntries values in memory
+// (minimum 1). dir, when non-empty, enables the on-disk store: every
+// Put also writes dir/<k0k1>/<key>, and a memory miss falls back to the
+// disk copy (promoting it). The directory is created on first use.
+func New(maxEntries int, dir string) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Cache{
+		max:   maxEntries,
+		dir:   dir,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the value stored under key and whether it was present.
+// The returned slice is shared and must be treated as immutable — which
+// is the point: cached payloads are served byte-identical.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		v := el.Value.(*entry).val
+		c.stats.Hits++
+		c.mu.Unlock()
+		return v, true
+	}
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		if v, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			// Re-check: another goroutine may have promoted it first.
+			if _, ok := c.items[key]; !ok {
+				c.insert(key, v)
+			}
+			c.stats.Hits++
+			c.stats.DiskHits++
+			c.mu.Unlock()
+			return v, true
+		}
+	}
+
+	c.mu.Lock()
+	c.stats.Misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores val under key in memory (evicting LRU entries beyond the
+// budget) and, when the disk store is enabled, persists it with an
+// atomic write-then-rename. Re-putting an existing key refreshes its
+// recency but keeps the first value: content-addressed entries cannot
+// change meaning.
+func (c *Cache) Put(key string, val []byte) {
+	c.mu.Lock()
+	c.stats.Puts++
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.insert(key, val)
+	c.mu.Unlock()
+
+	if c.dir != "" {
+		c.writeDisk(key, val)
+	}
+}
+
+// insert adds a new entry and evicts beyond the budget. Caller holds mu.
+func (c *Cache) insert(key string, val []byte) {
+	c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+	c.stats.Entries++
+	c.stats.Bytes += int64(len(val))
+	for c.stats.Entries > c.max {
+		oldest := c.ll.Back()
+		if oldest == nil {
+			break
+		}
+		e := oldest.Value.(*entry)
+		c.ll.Remove(oldest)
+		delete(c.items, e.key)
+		c.stats.Entries--
+		c.stats.Bytes -= int64(len(e.val))
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.MaxEntries = c.max
+	return s
+}
+
+// path maps a key to its on-disk location, sharding by the first two
+// key characters so huge stores do not pile every entry into one
+// directory.
+func (c *Cache) path(key string) string {
+	k := sanitize(key)
+	shard := "xx"
+	if len(k) >= 2 {
+		shard = k[:2]
+	}
+	return filepath.Join(c.dir, shard, k)
+}
+
+// writeDisk persists one entry atomically; persistence is best-effort
+// (a read-only disk degrades the cache to memory-only, it does not fail
+// the simulation that produced the value).
+func (c *Cache) writeDisk(key string, val []byte) {
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	_, werr := tmp.Write(val)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, p); err != nil {
+		os.Remove(name)
+	}
+}

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestMemoryHitMissAndStats(t *testing.T) {
+	c := New(4, "")
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	c.Put("a", []byte("alpha"))
+	v, ok := c.Get("a")
+	if !ok || string(v) != "alpha" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 || s.Bytes != 5 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, "")
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	c.Get("a")              // a is now most-recent
+	c.Put("c", []byte("3")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be resident")
+	}
+	if s := c.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+// TestPutIsImmutable: re-putting a content-addressed key keeps the
+// first value — the address defines the bytes.
+func TestPutIsImmutable(t *testing.T) {
+	c := New(4, "")
+	c.Put("k", []byte("first"))
+	c.Put("k", []byte("second"))
+	v, _ := c.Get("k")
+	if string(v) != "first" {
+		t.Errorf("re-put replaced the value: %q", v)
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := New(1, dir)
+	c.Put("aakey", []byte("payload"))
+	c.Put("bbkey", []byte("other")) // evicts aakey from memory
+
+	// aakey must come back from disk and count as a disk hit.
+	v, ok := c.Get("aakey")
+	if !ok || string(v) != "payload" {
+		t.Fatalf("disk fallback Get = %q, %v", v, ok)
+	}
+	if s := c.Stats(); s.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want 1", s.DiskHits)
+	}
+
+	// A fresh cache over the same directory sees the entries cold.
+	c2 := New(4, dir)
+	if v, ok := c2.Get("bbkey"); !ok || string(v) != "other" {
+		t.Fatalf("fresh cache disk Get = %q, %v", v, ok)
+	}
+
+	// Entries are sharded by key prefix.
+	if _, err := os.Stat(filepath.Join(dir, "aa", "aakey")); err != nil {
+		t.Errorf("expected sharded disk entry: %v", err)
+	}
+}
+
+func TestKeySanitization(t *testing.T) {
+	k := Key("deadbeef", "vip-engine/1")
+	if k != "deadbeef@vip-engine_1" {
+		t.Errorf("Key = %q", k)
+	}
+	// Hostile keys must not escape the cache directory.
+	dir := t.TempDir()
+	c := New(4, dir)
+	c.Put("../../escape", []byte("x"))
+	if _, err := os.Stat(filepath.Join(dir, "..", "..", "escape")); err == nil {
+		t.Error("path traversal escaped the cache dir")
+	}
+	if v, ok := c.Get("../../escape"); !ok || string(v) != "x" {
+		t.Errorf("sanitized key not retrievable: %q, %v", v, ok)
+	}
+}
+
+// TestConcurrentAccess exercises the lock under the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8, t.TempDir())
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("key-%d", i%16)
+				want := []byte(fmt.Sprintf("val-%d", i%16))
+				c.Put(key, want)
+				if v, ok := c.Get(key); ok && !bytes.Equal(v, want) {
+					t.Errorf("Get(%s) = %q, want %q", key, v, want)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

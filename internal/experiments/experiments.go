@@ -54,9 +54,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Run executes one scenario and returns the report.
+// Run executes one scenario and returns the report. When a result cache
+// is installed (SetCache), previously simulated configs are decoded from
+// it instead of re-run — see cache.go for why reuse is sound.
 func Run(cfg Config) (*core.Report, error) {
-	cfg = cfg.withDefaults()
+	return cachedRun(cfg.withDefaults(), runUncached)
+}
+
+// runUncached always simulates; cfg has its defaults filled.
+func runUncached(cfg Config) (*core.Report, error) {
 	specs := make([]app.Spec, 0, len(cfg.AppIDs))
 	for _, id := range cfg.AppIDs {
 		a, err := workload.App(id)

@@ -17,6 +17,7 @@ import (
 type HTTPServer struct {
 	mu       sync.Mutex
 	prom     []byte
+	onScrape func() []byte
 	publishs uint64
 	started  time.Time
 
@@ -37,6 +38,18 @@ func (h *HTTPServer) Publish(prom []byte) {
 	h.mu.Lock()
 	h.prom = prom
 	h.publishs++
+	h.mu.Unlock()
+}
+
+// OnScrape installs a callback whose return value is appended to the
+// published snapshot on every GET /metrics. Push-model producers (the
+// engine sampler) keep using Publish; pull-model producers whose
+// counters move between samples — the vipserve request path — render
+// their instruments at scrape time instead of re-publishing on every
+// state change. A nil return contributes nothing.
+func (h *HTTPServer) OnScrape(fn func() []byte) {
+	h.mu.Lock()
+	h.onScrape = fn
 	h.mu.Unlock()
 }
 
@@ -62,12 +75,16 @@ func (h *HTTPServer) handleMetrics(w http.ResponseWriter, req *http.Request) {
 	}
 	h.mu.Lock()
 	body := h.prom
+	scrape := h.onScrape
 	h.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if len(body) == 0 {
+	if len(body) == 0 && scrape == nil {
 		body = []byte("# VIP simulator metrics\n# (no samples published yet)\n")
 	}
 	_, _ = w.Write(body)
+	if scrape != nil {
+		_, _ = w.Write(scrape())
+	}
 }
 
 func (h *HTTPServer) handleHealthz(w http.ResponseWriter, req *http.Request) {

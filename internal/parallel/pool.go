@@ -1,0 +1,177 @@
+package parallel
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+)
+
+// This file adds the long-lived counterpart to Do/Map: a bounded-queue
+// worker pool for host-side services (vipserve) that must admit work
+// continuously, shed load when saturated, and dispatch in deadline
+// order. It shares the package's placement rationale — these are the
+// only goroutines in library code, kept strictly outside the
+// single-threaded engine packages — but none of Do/Map's determinism
+// contract: a service's dispatch order is load-dependent by design.
+// Determinism is recovered one level down (every simulation run is
+// seed-deterministic regardless of when or where it starts) and one
+// level up (results are content-addressed, so replays are byte-equal).
+
+// ErrQueueFull is returned by Submit when the admission queue is at
+// capacity. Callers translate it into backpressure (vipserve answers
+// 429 with Retry-After) rather than blocking the submitter.
+var ErrQueueFull = errors.New("parallel: admission queue full")
+
+// ErrPoolClosed is returned by Submit after Close.
+var ErrPoolClosed = errors.New("parallel: pool closed")
+
+// task is one admitted unit of work.
+type task struct {
+	deadline int64 // EDF key; lower dispatches first
+	seq      uint64
+	ctx      context.Context
+	fn       func(context.Context)
+}
+
+// taskHeap is a min-heap on (deadline, seq) — the same
+// earliest-deadline-first policy the paper's hardware scheduler applies
+// to virtual-lane contexts, applied here to queued simulation requests
+// so interactive (near-deadline) submissions overtake bulk sweeps.
+type taskHeap []task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = task{} // clear the slot so fn/ctx are not pinned
+	*h = old[:n-1]
+	return t
+}
+
+// Pool is a fixed set of workers draining a bounded, EDF-ordered
+// admission queue. Construct with NewPool; the zero value is unusable.
+type Pool struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      taskHeap
+	seq    uint64
+	cap    int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts a pool with the given worker count (<= 0 means the
+// package's Jobs() budget) and admission-queue capacity (<= 0 means 64).
+func NewPool(workers, queueCap int) *Pool {
+	if workers <= 0 {
+		workers = Jobs()
+	}
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	p := &Pool{cap: queueCap}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit admits fn with an EDF deadline (any monotone ordinal; vipserve
+// uses host unix-nanos). Every admitted task receives exactly one
+// fn(ctx) call from a worker goroutine, in earliest-deadline-first
+// order among queued tasks. fn must begin by checking ctx.Err(): the
+// context is the submitter's (so a caller that gave up cancels the work
+// it queued), and a pool drained by Close delivers pending tasks a
+// cancelled context instead of silently dropping them.
+//
+// Submit never blocks: a full queue returns ErrQueueFull immediately —
+// that is the load-shedding signal — and a closed pool ErrPoolClosed.
+func (p *Pool) Submit(ctx context.Context, deadline int64, fn func(context.Context)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	if len(p.q) >= p.cap {
+		return ErrQueueFull
+	}
+	p.seq++
+	heap.Push(&p.q, task{deadline: deadline, seq: p.seq, ctx: ctx, fn: fn})
+	p.cond.Signal()
+	return nil
+}
+
+// Depth reports the number of queued (not yet dispatched) tasks.
+func (p *Pool) Depth() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.q)
+}
+
+// Cap reports the admission-queue capacity.
+func (p *Pool) Cap() int { return p.cap }
+
+// Close stops admission and waits for the workers to drain the queue
+// and exit. Tasks still queued at Close time are dispatched with a
+// cancelled context, so their submitters observe completion (with
+// ctx.Err() set) rather than a silent drop.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// closedCtx is the pre-cancelled context handed to tasks drained after
+// Close.
+var closedCtx = func() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}()
+
+// worker pops earliest-deadline tasks until the pool is closed and
+// drained.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.q) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.q) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		t := heap.Pop(&p.q).(task)
+		closed := p.closed
+		p.mu.Unlock()
+
+		ctx := t.ctx
+		if closed {
+			ctx = closedCtx
+		}
+		t.fn(ctx)
+	}
+}

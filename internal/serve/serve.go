@@ -1,0 +1,605 @@
+// Package serve virtualizes the simulator behind a multi-tenant HTTP
+// service, the same move the paper makes one level down: where VIP
+// multiplexes many flows over one IP with per-lane contexts, admission
+// control and an EDF scheduler, vipserve multiplexes many clients over
+// one simulator fleet with per-request jobs, a bounded admission queue
+// and EDF dispatch (interactive requests carry near deadlines and
+// overtake bulk sweeps).
+//
+// The service is built around content-addressed results: a submitted
+// vip.Scenario is canonicalized and hashed (vip.Scenario.Hash), and the
+// report JSON is cached under (scenario hash, engine version). Repeat
+// submissions are served byte-identical from the cache without an
+// engine run; identical in-flight submissions coalesce onto one run.
+// Load beyond the queue bound is shed immediately with a retryable 429
+// — the service's flow-control credit, never a blocked accept loop.
+//
+// Endpoints: POST /v1/sim (sync, or ?async=1 returning a job id),
+// GET /v1/jobs/{id}, GET /v1/cache/stats, plus the metrics layer's
+// /metrics and /healthz with the serve instruments appended at scrape
+// time.
+//
+// Everything here runs on host goroutines and the host clock — it is a
+// network service, not a model — so it lives outside the simloop-policed
+// engine packages, and its few wall-clock reads carry explicit viplint
+// directives. Simulation runs themselves stay seed-deterministic no
+// matter which worker executes them, which is exactly what makes the
+// cache sound.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/vipsim/vip/internal/cache"
+	"github.com/vipsim/vip/internal/metrics"
+	"github.com/vipsim/vip/internal/parallel"
+	"github.com/vipsim/vip/internal/stats"
+	"github.com/vipsim/vip/vip"
+)
+
+// now is the service's single wall-clock read point.
+func now() time.Time {
+	return time.Now() //viplint:allow simdeterminism -- host service clock (deadlines/uptime), never simulated state
+}
+
+// Config tunes the service; the zero value serves with defaults.
+type Config struct {
+	// Workers is the simulation worker count (default parallel.Jobs()).
+	Workers int
+	// QueueDepth bounds the admission queue; submissions beyond it are
+	// shed with 429 (default 64).
+	QueueDepth int
+	// CacheEntries bounds the in-memory result LRU (default 256).
+	CacheEntries int
+	// CacheDir, when set, persists results content-addressed on disk.
+	CacheDir string
+	// SyncDeadline is the default wait budget and EDF deadline of a
+	// synchronous request (default 60s). Requests may tighten it with
+	// deadline_ms.
+	SyncDeadline time.Duration
+	// BulkDeadline is the EDF deadline horizon of async submissions
+	// (default 15m): far enough out that any sync request dispatches
+	// first.
+	BulkDeadline time.Duration
+	// MaxJobs bounds retained job records; the oldest finished jobs are
+	// pruned beyond it (default 1024).
+	MaxJobs int
+	// Run computes the report JSON for a scenario. Defaults to running
+	// vip.Simulate and serializing the report; tests substitute stubs to
+	// control timing and output.
+	Run func(vip.Scenario) ([]byte, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = parallel.Jobs()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 256
+	}
+	if c.SyncDeadline <= 0 {
+		c.SyncDeadline = 60 * time.Second
+	}
+	if c.BulkDeadline <= 0 {
+		c.BulkDeadline = 15 * time.Minute
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Run == nil {
+		c.Run = runScenario
+	}
+	return c
+}
+
+// runScenario is the default Run: one deterministic engine run,
+// serialized to the canonical report JSON.
+func runScenario(sc vip.Scenario) ([]byte, error) {
+	res, err := vip.Simulate(sc)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := res.WriteReportJSON(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Job states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Job is one submission's record.
+type Job struct {
+	ID     string `json:"id"`
+	Hash   string `json:"scenario_hash"`
+	Status string `json:"status"`
+	// Cache reports how the result was obtained: "hit" (served from
+	// cache), "miss" (fresh engine run), or "coalesced" (attached to an
+	// identical in-flight run).
+	Cache string `json:"cache,omitempty"`
+	Error string `json:"error,omitempty"`
+
+	report  []byte
+	done    chan struct{}
+	created time.Time
+}
+
+// SimRequest is the wire form of a scenario submission. Every knob is
+// optional except apps; defaults mirror vip.Scenario's. Two requests
+// that spell the same scenario differently (workload id vs. expansion,
+// explicit vs. implicit defaults) canonicalize to the same hash and
+// share a cache line.
+type SimRequest struct {
+	System            string   `json:"system,omitempty"` // baseline|frameburst|iptoip|iptoipburst|vip (default vip)
+	Apps              []string `json:"apps"`
+	DurationMS        float64  `json:"duration_ms,omitempty"`
+	Burst             int      `json:"burst,omitempty"`
+	Seed              uint64   `json:"seed,omitempty"`
+	IdealMemory       bool     `json:"ideal_memory,omitempty"`
+	LaneBufferBytes   int      `json:"lane_buffer_bytes,omitempty"`
+	MetricsIntervalMS float64  `json:"metrics_interval_ms,omitempty"`
+	FaultRate         float64  `json:"fault_rate,omitempty"`
+	FaultSeed         uint64   `json:"fault_seed,omitempty"`
+	FaultNoRecovery   bool     `json:"fault_no_recovery,omitempty"`
+	// DeadlineMS tightens this request's EDF deadline and, for sync
+	// requests, the wait budget (default Config.SyncDeadline).
+	DeadlineMS float64 `json:"deadline_ms,omitempty"`
+}
+
+// scenario lowers the wire request to a vip.Scenario.
+func (r SimRequest) scenario() (vip.Scenario, error) {
+	sys := vip.SystemVIP
+	if r.System != "" {
+		var err error
+		if sys, err = vip.ParseSystem(r.System); err != nil {
+			return vip.Scenario{}, err
+		}
+	}
+	sc := vip.Scenario{
+		System:          sys,
+		Apps:            r.Apps,
+		Duration:        vip.Duration(r.DurationMS * 1e6),
+		BurstSize:       r.Burst,
+		Seed:            r.Seed,
+		IdealMemory:     r.IdealMemory,
+		LaneBufferBytes: r.LaneBufferBytes,
+		MetricsInterval: vip.Duration(r.MetricsIntervalMS * 1e6),
+	}
+	if r.FaultRate < 0 {
+		return vip.Scenario{}, fmt.Errorf("fault_rate must be non-negative")
+	}
+	if r.FaultRate > 0 {
+		f := vip.UniformFaults(r.FaultRate)
+		f.Seed = r.FaultSeed
+		f.DisableRecovery = r.FaultNoRecovery
+		sc.Faults = f
+	}
+	return sc, nil
+}
+
+// Server is the simulation service. Construct with New; Close releases
+// the workers.
+type Server struct {
+	cfg   Config
+	cache *cache.Cache
+	pool  *parallel.Pool
+	hs    *metrics.HTTPServer
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // job ids, oldest first, for pruning
+	inflight map[string]*Job
+	seq      uint64
+	depth    stats.Sample // queue depth observed at each admission
+
+	// Serve counters (guarded by mu; rendered at /metrics scrape).
+	shed      uint64
+	runs      uint64
+	coalesced uint64
+	syncReqs  uint64
+	asyncReqs uint64
+	failures  uint64
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// New builds a server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    cache.New(cfg.CacheEntries, cfg.CacheDir),
+		pool:     parallel.NewPool(cfg.Workers, cfg.QueueDepth),
+		hs:       metrics.NewHTTPServer(),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+	s.hs.OnScrape(s.promInstruments)
+	return s
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.Handle("/metrics", s.hs.Handler())
+	mux.Handle("/healthz", s.hs.Handler())
+	return mux
+}
+
+// Start binds the service to addr (":0" picks a free port) and serves
+// in background goroutines; it returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener (if started) and drains the worker pool.
+func (s *Server) Close() error {
+	var err error
+	if s.srv != nil {
+		err = s.srv.Close()
+	}
+	s.pool.Close()
+	return err
+}
+
+// CacheStats exposes the result cache counters (for tests and the CLI).
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// EngineRuns reports how many fresh engine runs the service performed.
+func (s *Server) EngineRuns() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs
+}
+
+// httpError writes a JSON error document.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"error":     fmt.Sprintf(format, args...),
+		"retryable": code == http.StatusTooManyRequests || code == http.StatusGatewayTimeout,
+	})
+}
+
+// handleSim admits one scenario submission.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	var req SimRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	sc, err := req.scenario()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		return
+	}
+	hash, err := sc.Hash()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "invalid scenario: %v", err)
+		return
+	}
+	async := r.URL.Query().Get("async") != ""
+	key := cache.Key(hash, vip.EngineVersion)
+
+	deadline := s.cfg.SyncDeadline
+	if async {
+		deadline = s.cfg.BulkDeadline
+	}
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS * float64(time.Millisecond))
+	}
+
+	s.mu.Lock()
+	if async {
+		s.asyncReqs++
+	} else {
+		s.syncReqs++
+	}
+	s.mu.Unlock()
+
+	// Fast path: content-addressed replay, no queue, no engine.
+	if body, ok := s.cache.Get(key); ok {
+		job := s.newJob(hash)
+		s.completeJob(job, body, "hit", nil)
+		s.respond(w, r, job, async, body, "hit")
+		return
+	}
+
+	// Coalesce onto an identical in-flight run, or admit a new one.
+	s.mu.Lock()
+	job, joined := s.inflight[key]
+	if joined {
+		s.coalesced++
+		s.mu.Unlock()
+	} else {
+		s.mu.Unlock()
+		job = s.newJob(hash)
+		s.mu.Lock()
+		s.inflight[key] = job
+		s.mu.Unlock()
+		edf := now().Add(deadline).UnixNano()
+		// The job is deliberately detached from the request context: the
+		// result is content-addressed and future-useful even if this
+		// client gives up, and coalesced waiters may still want it. Only
+		// pool shutdown cancels a queued job.
+		err := s.pool.Submit(context.Background(), edf, func(ctx context.Context) { s.runJob(ctx, job, key, sc) })
+		if err != nil {
+			s.mu.Lock()
+			s.shed++
+			delete(s.inflight, key)
+			s.mu.Unlock()
+			s.completeJob(job, nil, "", fmt.Errorf("admission queue full"))
+			w.Header().Set("Retry-After", "1")
+			httpError(w, http.StatusTooManyRequests, "admission queue full (%d queued); retry", s.pool.Cap())
+			return
+		}
+		s.mu.Lock()
+		s.depth.Add(float64(s.pool.Depth()))
+		s.mu.Unlock()
+	}
+
+	if async {
+		s.respond(w, r, job, true, nil, "")
+		return
+	}
+
+	// Sync: wait for the job within the request's deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+	select {
+	case <-job.done:
+	case <-ctx.Done():
+		httpError(w, http.StatusGatewayTimeout,
+			"deadline exceeded while queued/running; poll /v1/jobs/%s or retry", job.ID)
+		return
+	}
+	s.mu.Lock()
+	body, errMsg, cacheState := job.report, job.Error, job.Cache
+	s.mu.Unlock()
+	if errMsg != "" {
+		httpError(w, http.StatusInternalServerError, "%s", errMsg)
+		return
+	}
+	if joined && cacheState == "miss" {
+		cacheState = "coalesced"
+	}
+	s.respond(w, r, job, false, body, cacheState)
+}
+
+// respond writes the sync report or the async job stub.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, job *Job, async bool, body []byte, cacheState string) {
+	w.Header().Set("X-Vip-Scenario-Hash", job.Hash)
+	w.Header().Set("X-Vip-Engine-Version", vip.EngineVersion)
+	if async {
+		s.mu.Lock()
+		status := jobStatus(job)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"id":     job.ID,
+			"status": status,
+			"url":    "/v1/jobs/" + job.ID,
+		})
+		return
+	}
+	if cacheState != "" {
+		w.Header().Set("X-Vip-Cache", cacheState)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(body)
+}
+
+// jobStatus derives the externally visible state; the caller must hold
+// s.mu (Status and Error are lock-guarded until done closes).
+func jobStatus(job *Job) string {
+	select {
+	case <-job.done:
+		if job.Error != "" {
+			return StatusFailed
+		}
+		return StatusDone
+	default:
+		return job.Status
+	}
+}
+
+// newJob registers a fresh job record, pruning the oldest finished
+// records beyond the budget.
+func (s *Server) newJob(hash string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	short := hash
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	job := &Job{
+		ID:      fmt.Sprintf("j%06d-%s", s.seq, short),
+		Hash:    hash,
+		Status:  StatusQueued,
+		done:    make(chan struct{}),
+		created: now(),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	for len(s.order) > s.cfg.MaxJobs {
+		oldest := s.jobs[s.order[0]]
+		if oldest != nil && jobStatus(oldest) == StatusQueued || oldest != nil && jobStatus(oldest) == StatusRunning {
+			break // never prune live jobs
+		}
+		delete(s.jobs, s.order[0])
+		s.order = s.order[1:]
+	}
+	return job
+}
+
+// runJob is the pool task: re-check the cache (an identical run may
+// have landed while queued), run the engine, store and publish.
+func (s *Server) runJob(ctx context.Context, job *Job, key string, sc vip.Scenario) {
+	s.mu.Lock()
+	job.Status = StatusRunning
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.mu.Unlock()
+	}()
+
+	if err := ctx.Err(); err != nil {
+		s.completeJob(job, nil, "", fmt.Errorf("cancelled before dispatch: %w", err))
+		return
+	}
+	if body, ok := s.cache.Get(key); ok {
+		s.completeJob(job, body, "hit", nil)
+		return
+	}
+	body, err := s.cfg.Run(sc)
+	if err != nil {
+		s.completeJob(job, nil, "", err)
+		return
+	}
+	s.mu.Lock()
+	s.runs++
+	s.mu.Unlock()
+	s.cache.Put(key, body)
+	s.completeJob(job, body, "miss", nil)
+}
+
+// completeJob finalizes a job exactly once.
+func (s *Server) completeJob(job *Job, body []byte, cacheState string, err error) {
+	s.mu.Lock()
+	select {
+	case <-job.done:
+		s.mu.Unlock()
+		return
+	default:
+	}
+	if err != nil {
+		job.Status = StatusFailed
+		job.Error = err.Error()
+		s.failures++
+	} else {
+		job.Status = StatusDone
+		job.Cache = cacheState
+		job.report = body
+	}
+	close(job.done)
+	s.mu.Unlock()
+}
+
+// handleJob reports one job's status, embedding the report when done.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil {
+		httpError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	s.mu.Lock()
+	doc := map[string]any{
+		"id":            job.ID,
+		"scenario_hash": job.Hash,
+		"status":        jobStatus(job),
+	}
+	if job.Cache != "" {
+		doc["cache"] = job.Cache
+	}
+	if job.Error != "" {
+		doc["error"] = job.Error
+	}
+	if job.report != nil {
+		doc["report"] = json.RawMessage(job.report)
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+// handleCacheStats reports the cache and admission counters.
+func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	doc := map[string]any{
+		"cache":          s.cache.Stats(),
+		"engine_runs":    s.runs,
+		"shed":           s.shed,
+		"coalesced":      s.coalesced,
+		"sync_requests":  s.syncReqs,
+		"async_requests": s.asyncReqs,
+		"failures":       s.failures,
+		"queue_depth":    s.pool.Depth(),
+		"queue_cap":      s.pool.Cap(),
+		"engine_version": vip.EngineVersion,
+	}
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(doc)
+}
+
+// promInstruments renders the serve counters for the /metrics scrape:
+// cache traffic, admission outcomes, and the queue-depth distribution
+// observed at admission time.
+func (s *Server) promInstruments() []byte {
+	cs := s.cache.Stats()
+	s.mu.Lock()
+	vals := map[string]float64{
+		"serve.cache.hits":       float64(cs.Hits),
+		"serve.cache.disk_hits":  float64(cs.DiskHits),
+		"serve.cache.misses":     float64(cs.Misses),
+		"serve.cache.evictions":  float64(cs.Evictions),
+		"serve.cache.entries":    float64(cs.Entries),
+		"serve.cache.bytes":      float64(cs.Bytes),
+		"serve.engine_runs":      float64(s.runs),
+		"serve.shed":             float64(s.shed),
+		"serve.coalesced":        float64(s.coalesced),
+		"serve.requests.sync":    float64(s.syncReqs),
+		"serve.requests.async":   float64(s.asyncReqs),
+		"serve.failures":         float64(s.failures),
+		"serve.queue.depth":      float64(s.pool.Depth()),
+		"serve.queue.cap":        float64(s.pool.Cap()),
+		"serve.queue.depth_obs":  float64(s.depth.N()),
+		"serve.queue.depth_p50":  s.depth.P50(),
+		"serve.queue.depth_p95":  s.depth.P95(),
+		"serve.queue.depth_max":  s.depth.Max(),
+		"serve.queue.depth_mean": s.depth.Mean(),
+	}
+	s.mu.Unlock()
+	var b strings.Builder
+	_ = metrics.WritePrometheus(&b, vals) //viplint:allow errcheckcodec -- strings.Builder writes cannot fail
+	return []byte(b.String())
+}

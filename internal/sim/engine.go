@@ -34,6 +34,16 @@ func (e *event) before(o *event) bool {
 // in-flight events; 1024 leaves headroom without measurable footprint.
 const defaultQueueCap = 1024
 
+// EngineVersion names the current revision of the simulation model for
+// content-addressed result reuse: cached reports are keyed by
+// (scenario hash, EngineVersion), so a stale cache can never serve
+// results computed by an older model. Bump the revision whenever a
+// change alters any simulated output for some scenario — event
+// ordering, cost models, defaults, report contents — and leave it
+// alone for pure refactors, which the same-seed byte-identical
+// reproducibility tests already police.
+const EngineVersion = "vip-engine/1"
+
 // Engine is a deterministic discrete-event scheduler. The zero value is
 // ready to use; Now starts at 0. NewEngine additionally pre-sizes the
 // event queue so the scheduling hot path is allocation-free.

@@ -31,6 +31,7 @@ package vip
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"github.com/vipsim/vip/internal/app"
 	"github.com/vipsim/vip/internal/core"
@@ -69,6 +70,25 @@ func Systems() []System {
 	return []System{SystemBaseline, SystemFrameBurst, SystemIPToIP, SystemIPToIPBurst, SystemVIP}
 }
 
+// ParseSystem resolves a user-facing system name (as accepted by the
+// CLI -system flags and the vipserve API) to a System. Matching is
+// case-insensitive and accepts the common short aliases.
+func ParseSystem(s string) (System, error) {
+	switch strings.ToLower(s) {
+	case "baseline", "base":
+		return SystemBaseline, nil
+	case "frameburst", "fb", "burst":
+		return SystemFrameBurst, nil
+	case "iptoip", "ip2ip", "chain":
+		return SystemIPToIP, nil
+	case "iptoipburst", "ip2ip+fb", "chainburst":
+		return SystemIPToIPBurst, nil
+	case "vip":
+		return SystemVIP, nil
+	}
+	return 0, fmt.Errorf("vip: unknown system %q (baseline|frameburst|iptoip|iptoipburst|vip)", s)
+}
+
 // mode converts the public System to the internal platform mode.
 func (s System) mode() (platform.Mode, error) {
 	switch s {
@@ -103,7 +123,7 @@ type Scenario struct {
 	// Apps lists Table 1 application ids ("A1".."A7") and/or Table 2
 	// workload ids ("W1".."W8", expanded to their app mixes).
 	Apps []string
-	// Duration is the simulated time; 0 means 400 ms.
+	// Duration is the simulated time; 0 means the 500 ms default.
 	Duration Duration
 	// BurstSize overrides the nominal frame-burst size (default 5).
 	BurstSize int
