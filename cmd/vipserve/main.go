@@ -12,9 +12,11 @@
 // Then:
 //
 //	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/ready
 //	curl -s -X POST localhost:8080/v1/sim -d '{"apps":["A5","A5"],"duration_ms":100}'
 //	curl -s -X POST 'localhost:8080/v1/sim?async=1' -d '{"apps":["W4"]}'
 //	curl -s localhost:8080/v1/jobs/<id>
+//	curl -N localhost:8080/v1/sim/stream
 //	curl -s localhost:8080/v1/cache/stats
 //	curl -s localhost:8080/metrics | grep vip_serve_
 //
@@ -25,6 +27,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,20 +45,41 @@ func main() {
 	syncDeadline := flag.Duration("sync-deadline", 60*time.Second, "default deadline of synchronous requests")
 	bulkDeadline := flag.Duration("bulk-deadline", 15*time.Minute, "EDF deadline horizon of async (bulk) requests")
 	maxJobs := flag.Int("max-jobs", 1024, "retained job records for /v1/jobs")
+	accessLog := flag.String("access-log", "", "write one JSON line per request to this file (\"-\" for stdout)")
+	streamInterval := flag.Duration("stream-interval", time.Second, "period of /v1/sim/stream snapshots (negative disables them, leaving job events only)")
+	enablePprof := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "vipserve: unexpected arguments: %v\n", flag.Args())
 		os.Exit(2)
 	}
 
+	var logw io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logw = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vipserve:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		logw = f
+	}
+
 	s := serve.New(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
-		SyncDeadline: *syncDeadline,
-		BulkDeadline: *bulkDeadline,
-		MaxJobs:      *maxJobs,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		CacheDir:       *cacheDir,
+		SyncDeadline:   *syncDeadline,
+		BulkDeadline:   *bulkDeadline,
+		MaxJobs:        *maxJobs,
+		AccessLog:      logw,
+		StreamInterval: *streamInterval,
+		EnablePprof:    *enablePprof,
 	})
 	bound, err := s.Start(*addr)
 	if err != nil {

@@ -9,7 +9,9 @@
 // Observability (see the README's Observability section):
 //
 //	vipsim -system vip -apps A5,A5 -metrics-out ts.json -report-json report.json
+//	vipsim -system vip -apps A5,A5 -trace-spans spans.jsonl -trace-spans-chrome spans.json
 //	vipsim -system vip -apps W1 -duration 10s -metrics-addr :9090
+//	curl -N localhost:9090/stream        # live SSE metric snapshots mid-run
 //
 // Fault injection (see the README's Fault injection & recovery section):
 //
@@ -48,7 +50,9 @@ func main() {
 	metricsCSV := flag.String("metrics-csv", "", "write sampled metric time series as CSV to this file")
 	metricsInterval := flag.Duration("metrics-interval", time.Millisecond, "simulated sampling period for the metrics time series")
 	reportJSON := flag.String("report-json", "", "write the full machine-readable report as JSON to this file")
-	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics (Prometheus) and /healthz on this address during the run, e.g. :9090")
+	traceSpans := flag.String("trace-spans", "", "write the causal frame-lifecycle span log as JSON Lines to this file (byte-identical across same-seed runs)")
+	traceSpansChrome := flag.String("trace-spans-chrome", "", "write the span log as a Chrome/Perfetto trace JSON file (open in ui.perfetto.dev)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live /metrics (Prometheus), /healthz and /stream (SSE snapshots) on this address during the run, e.g. :9090")
 	faultRate := flag.Float64("fault-rate", 0, "base fault-injection rate (per-job lane-hang probability; scales the whole mix)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault stream seed override (0 = derive from -seed)")
 	faultNoRecovery := flag.Bool("fault-no-recovery", false, "inject faults with watchdogs/retries/quarantine disabled (control arm)")
@@ -76,6 +80,7 @@ func main() {
 		f.DisableRecovery = *faultNoRecovery
 		base.Faults = f
 	}
+	base.TraceSpans = *traceSpans != "" || *traceSpansChrome != ""
 	// Any observability output enables the metrics layer.
 	if *metricsOut != "" || *metricsCSV != "" || *reportJSON != "" || *metricsAddr != "" {
 		base.MetricsInterval = vip.Duration(metricsInterval.Nanoseconds())
@@ -92,7 +97,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "vipsim: serving /metrics and /healthz on http://%s\n", bound)
+		fmt.Fprintf(os.Stderr, "vipsim: serving /metrics, /healthz and /stream on http://%s\n", bound)
 		base.OnMetricsSnapshot = srv.Publish
 	}
 
@@ -151,5 +156,12 @@ func main() {
 	}
 	if *reportJSON != "" {
 		writeFile(*reportJSON, res.WriteReportJSON)
+	}
+	if *traceSpans != "" {
+		writeFile(*traceSpans, res.WriteSpanJSONL)
+		fmt.Fprintf(os.Stderr, "vipsim: wrote %s (%d spans)\n", *traceSpans, len(res.Spans()))
+	}
+	if *traceSpansChrome != "" {
+		writeFile(*traceSpansChrome, res.WriteSpanChrome)
 	}
 }

@@ -134,6 +134,7 @@ func matchNonMain(pkgPath string) bool {
 func All() []*Analyzer {
 	return []*Analyzer{
 		SimDeterminism,
+		Walltime,
 		MapOrder,
 		ProbeGuard,
 		ErrCheckCodec,

@@ -17,6 +17,10 @@ func TestSimDeterminism(t *testing.T) {
 	RunFixture(t, SimDeterminism, fixture("simdeterminism"))
 }
 
+func TestWalltime(t *testing.T) {
+	RunFixture(t, Walltime, fixture("walltime"))
+}
+
 func TestSimLoop(t *testing.T) {
 	RunFixture(t, SimLoop, fixture("simloop"))
 }

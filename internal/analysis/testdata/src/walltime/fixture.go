@@ -1,0 +1,47 @@
+// Package walltime is the analyzer fixture: wall-clock references in
+// deterministic-domain code — both direct calls and the value
+// references a call-only rule would miss — and the blessed idioms.
+package walltime
+
+import (
+	"time"
+
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// callSites exercises the plain call forms.
+func callSites() time.Time {
+	time.Sleep(time.Millisecond)   // want `reference to time\.Sleep blocks the event loop`
+	_ = time.Since(time.Time{})    // want `reference to time\.Since reads the host clock`
+	t := time.NewTicker(time.Hour) // want `reference to time\.NewTicker creates a host-clock ticker`
+	t.Stop()
+	return time.Now() // want `reference to time\.Now reads the host clock`
+}
+
+// valueReferences is the case SimDeterminism cannot see: the function
+// value escapes without a call expression at the reference site.
+func valueReferences() {
+	clock := time.Now // want `reference to time\.Now reads the host clock`
+	_ = clock
+	var sleeper func(time.Duration) = time.Sleep // want `reference to time\.Sleep blocks the event loop`
+	_ = sleeper
+}
+
+// methodsAreFine: computing on time values already in hand is not a
+// clock read, and time.Duration arithmetic is pure.
+func methodsAreFine(a, b time.Time) time.Duration {
+	d := b.Sub(a)
+	_ = d.String()
+	return d.Round(time.Millisecond)
+}
+
+// simClock is the blessed source of simulated time.
+func simClock(eng *sim.Engine) sim.Time {
+	return eng.Now()
+}
+
+// allowed demonstrates the escape hatch for intentional host-facing
+// reads.
+func allowed() time.Time {
+	return time.Now() //viplint:allow walltime -- fixture: host-facing uptime only
+}

@@ -39,6 +39,7 @@ func (r *Runner) checkFrame(fs *flowState, frame int) {
 	if tr := r.p.Tracer(); tr != nil {
 		tr.Mark("driver", "fault/timeout/"+fs.spec.Name, r.p.Eng.Now())
 	}
+	r.spans.Detour(fs.track, frame, "timeout", r.p.Eng.Now())
 	attempt := fs.attempts[frame]
 	if attempt >= rec.maxRetries() {
 		r.failFrame(fs, frame)
@@ -58,6 +59,7 @@ func (r *Runner) checkFrame(fs *flowState, frame int) {
 		if tr := r.p.Tracer(); tr != nil {
 			tr.Mark("driver", "fault/degrade/"+fs.spec.Name, r.p.Eng.Now())
 		}
+		r.spans.Detour(fs.track, frame, "degrade", r.p.Eng.Now())
 	}
 	backoff := rec.backoff() << attempt
 	// Detection runs in a timer ISR, then the driver resubmits after the
@@ -68,6 +70,7 @@ func (r *Runner) checkFrame(fs *flowState, frame int) {
 			if _, ok := fs.unfinished[frame]; !ok {
 				return
 			}
+			r.spans.Detour(fs.track, frame, "retry", r.p.Eng.Now())
 			r.baselineStage(fs, frame, 0)
 			r.armFrameTimeout(fs, frame,
 				r.p.Eng.Now()+fs.period+rec.frameTimeout(fs.period))
@@ -78,6 +81,7 @@ func (r *Runner) checkFrame(fs *flowState, frame int) {
 // failFrame abandons a released frame after its retry budget is spent:
 // its jobs are aborted and the miss is charged as a QoS violation.
 func (r *Runner) failFrame(fs *flowState, frame int) {
+	r.spans.Detour(fs.track, frame, "fail", r.p.Eng.Now())
 	r.abortFrameJobs(fs, frame)
 	delete(fs.unfinished, frame)
 	delete(fs.firstJob, frame)

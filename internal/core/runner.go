@@ -11,6 +11,7 @@ import (
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/telemetry"
 )
 
 // Runner executes a set of applications on a platform under one system
@@ -26,7 +27,8 @@ type Runner struct {
 	ran       bool
 
 	// Observability: counters are nil (no-op) when the platform has no
-	// metrics registry.
+	// metrics registry; spans is nil (no-op) when span tracing is off.
+	spans          *telemetry.Recorder
 	sampler        *metrics.Sampler
 	mReleased      *metrics.Counter
 	mCompleted     *metrics.Counter
@@ -66,6 +68,7 @@ type flowState struct {
 	chain  *Chain
 	period sim.Time
 	phase  sim.Time // release-time offset of frame 0
+	track  string   // timeline/span track name, "flow<id>:<app>/<flow>"
 
 	// DRAM buffer rings.
 	ring     int
@@ -105,7 +108,7 @@ func NewRunner(p *platform.Platform, apps []app.Spec, opts Options) (*Runner, er
 	if len(apps) == 0 {
 		return nil, fmt.Errorf("core: no applications")
 	}
-	r := &Runner{p: p, opts: opts, apps: apps, cm: newChainManager(p)}
+	r := &Runner{p: p, opts: opts, apps: apps, cm: newChainManager(p), spans: p.Spans()}
 	// Counter/distribution handles are nil-safe: on a platform without a
 	// registry they are nil and every increment is a no-op.
 	reg := p.Metrics()
@@ -139,6 +142,7 @@ func NewRunner(p *platform.Platform, apps []app.Spec, opts Options) (*Runner, er
 				unfinished: make(map[int]sim.Time),
 				firstJob:   make(map[int]*ipcore.Job),
 			}
+			fs.track = fmt.Sprintf("flow%d:%s/%s", fs.id, a.ID, f.Name)
 			if opts.Recovery.Enabled {
 				fs.jobs = make(map[int][]trackedJob)
 				fs.attempts = make(map[int]int)
@@ -215,9 +219,9 @@ func (r *Runner) Run() (*Report, error) {
 	// The wall clock here profiles the simulator itself (engine
 	// throughput); it never feeds simulated state or the report's
 	// deterministic fields.
-	wallStart := time.Now() //viplint:allow simdeterminism -- host-side self-profile only
+	wallStart := time.Now() //viplint:allow simdeterminism,walltime -- host-side self-profile only
 	r.p.Eng.Run(r.opts.Duration)
-	r.simWallSeconds = time.Since(wallStart).Seconds() //viplint:allow simdeterminism -- host-side self-profile only
+	r.simWallSeconds = time.Since(wallStart).Seconds() //viplint:allow simdeterminism,walltime -- host-side self-profile only
 	r.p.FinalizeAccounting()
 
 	// Expire frames that were submitted but never finished and are past
@@ -230,9 +234,10 @@ func (r *Runner) Run() (*Report, error) {
 		}
 		sort.Ints(frames)
 		for _, frame := range frames {
-			if fs.qos.Deadline(fs.unfinished[frame]) <= r.opts.Duration {
+			if dl := fs.qos.Deadline(fs.unfinished[frame]); dl <= r.opts.Duration {
 				fs.qos.Expired()
 				r.mViolations.Inc()
+				r.spans.FrameExpired(fs.track, frame, dl)
 			}
 		}
 	}
@@ -295,12 +300,14 @@ func (r *Runner) releaseGroup(fs *flowState) {
 			// Driver queue full (the Nexus 7 depth-7 limit): drop.
 			fs.qos.Dropped()
 			r.mDropped.Inc()
+			r.spans.FrameDrop(fs.track, i, r.p.Eng.Now())
 			continue
 		}
 		fs.qos.Released()
 		r.mReleased.Inc()
 		fs.inFlight++
 		fs.unfinished[i] = fs.releaseTime(i)
+		r.spans.FrameSubmit(fs.track, i, fs.releaseTime(i))
 		frames = append(frames, i)
 		if r.opts.Recovery.Enabled {
 			r.armFrameTimeout(fs, i,
@@ -346,11 +353,11 @@ func (r *Runner) completeFrame(fs *flowState, frame int) {
 		delete(fs.firstJob, frame)
 	}
 	if tr := r.p.Tracer(); tr != nil {
-		tr.Span(fmt.Sprintf("flow%d:%s/%s", fs.id, fs.aspec.ID, fs.spec.Name),
-			fmt.Sprintf("f%d", frame), start, r.p.Eng.Now())
+		tr.Span(fs.track, fmt.Sprintf("f%d", frame), start, r.p.Eng.Now())
 	}
 	now := r.p.Eng.Now()
 	onTime := fs.qos.Completed(rel, start, now)
+	r.spans.Frame(fs.track, frame, rel, start, now, fs.qos.Deadline(rel), onTime)
 	r.mCompleted.Inc()
 	if !onTime {
 		r.mViolations.Inc()
@@ -397,6 +404,7 @@ func (r *Runner) makeJob(fs *flowState, frame, s int, chained bool) *ipcore.Job 
 		Label:    fmt.Sprintf("%s/%s/s%d/f%d", fs.aspec.ID, fs.spec.Name, s, frame),
 		FlowID:   fs.id,
 		Frame:    frame,
+		Stage:    s,
 		InBytes:  fs.spec.StageIn(s),
 		OutBytes: st.OutBytes,
 		Deadline: fs.qos.Deadline(fs.releaseTime(frame)),

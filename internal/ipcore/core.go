@@ -9,6 +9,7 @@ import (
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/noc"
 	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/telemetry"
 	"github.com/vipsim/vip/internal/trace"
 )
 
@@ -98,6 +99,11 @@ type Config struct {
 	// lane occupancy, flow-buffer fill, context switches), prefixed
 	// "ip.<Name>.".
 	Metrics *metrics.Registry
+
+	// Spans, when non-nil, receives one queue span and one service span
+	// per retired job (the per-hop segments of a frame's causal trace),
+	// annotated with DRAM/NoC wait time and bytes moved.
+	Spans *telemetry.Recorder
 
 	// Injector, when non-nil and enabled, delivers hardware faults to
 	// this core: lane hangs at compute-chunk boundaries, compute
@@ -342,6 +348,7 @@ func (c *Core) Submit(laneIdx int, j *Job) error {
 	}
 	j.lane = c.lanes[laneIdx]
 	j.blockedAt = -1
+	j.submitAt = c.eng.Now()
 	j.lane.jobs = append(j.lane.jobs, j)
 	c.kick()
 	return nil
@@ -507,10 +514,12 @@ func (c *Core) issueReads(j *Job) {
 	for j.inIssued < limit {
 		k := j.inIssued
 		j.inIssued++
+		reqAt := c.eng.Now()
 		c.mem.Submit(&dram.Request{
 			Addr:  j.InAddr + uint64(j.inOffset(k)),
 			Bytes: j.inChunk(k),
 			OnDone: func() {
+				j.dramNS += int64(c.eng.Now() - reqAt)
 				j.inReady++
 				j.lane.core.kick()
 			},
@@ -801,7 +810,9 @@ func (c *Core) emit(j *Job) {
 		j.emitted++
 		c.stats.BytesOut += uint64(out)
 		addr := j.OutAddr + uint64(j.outOffset(k))
+		wrAt := c.eng.Now()
 		c.mem.Submit(&dram.Request{Addr: addr, Bytes: out, Write: true, OnDone: func() {
+			j.dramNS += int64(c.eng.Now() - wrAt)
 			j.writesOut--
 			j.writesDone++
 			c.maybeComplete(j)
@@ -818,7 +829,9 @@ func (c *Core) emit(j *Job) {
 		}
 		j.OutLane.reserve(out)
 		c.setPhase(PhaseStallMem) // SA transfer occupies the producer
+		txAt := c.eng.Now()
 		c.sa.Transfer(out, func() {
+			j.nocNS += int64(c.eng.Now() - txAt)
 			if j.aborted {
 				// The frame was cancelled while the sub-frame was in
 				// flight: drop it instead of depositing stale bytes.
@@ -861,6 +874,8 @@ func (c *Core) maybeComplete(j *Job) {
 	if c.cfg.Tracer != nil {
 		c.cfg.Tracer.Mark(c.cfg.Name, j.Label, c.eng.Now())
 	}
+	c.cfg.Spans.Hop(c.cfg.Name, j.lane.idx, j.FlowID, j.Frame, j.Stage,
+		j.submitAt, j.startedAt, j.finishedAt, j.dramNS, j.nocNS, j.InBytes, j.OutBytes)
 	c.stats.Frames++
 	delete(c.perFrameAdj, j)
 	if j.lane != nil {

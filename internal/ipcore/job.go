@@ -24,6 +24,9 @@ type Job struct {
 	// driver's recovery layer uses it to map a stranded job back to the
 	// frame it must retry.
 	Frame int
+	// Stage is the frame's pipeline-stage index this job executes; the
+	// telemetry layer names hop tracks "flow<F>/s<Stage>:<IP>" with it.
+	Stage int
 	// InBytes/OutBytes are the stage's input and output volume.
 	InBytes, OutBytes int
 
@@ -77,8 +80,11 @@ type Job struct {
 	spaceWait  bool     // a downstream-space wake-up is registered
 	timerSet   bool     // a NotBefore wake-up is scheduled
 	blockedAt  sim.Time // when the job last became unrunnable (-1 = runnable)
+	submitAt   sim.Time
 	startedAt  sim.Time
 	finishedAt sim.Time
+	dramNS     int64 // time spent waiting on DRAM requests (telemetry)
+	nocNS      int64 // time spent in SA sub-frame transfers (telemetry)
 	done       bool
 	aborted    bool // cancelled by Core.Abort; done without OnDone
 	lane       *Lane

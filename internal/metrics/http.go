@@ -10,16 +10,19 @@ import (
 
 // HTTPServer serves the latest published metrics snapshot over HTTP:
 // GET /metrics returns the Prometheus text exposition, GET /healthz a
-// small JSON liveness document. The simulation thread publishes with
-// Publish; HTTP handlers run on their own goroutines, so the snapshot is
-// guarded by a mutex — the only lock in the simulator, and it is touched
-// only at sampler ticks, never on the event hot path.
+// small JSON liveness document, and GET /stream a live SSE feed that
+// pushes every published snapshot — so a mid-run vipsim can be watched
+// without polling. The simulation thread publishes with Publish; HTTP
+// handlers run on their own goroutines, so the snapshot is guarded by a
+// mutex — the only lock in the simulator, and it is touched only at
+// sampler ticks, never on the event hot path.
 type HTTPServer struct {
 	mu       sync.Mutex
 	prom     []byte
 	onScrape func() []byte
 	publishs uint64
 	started  time.Time
+	broker   *SSEBroker
 
 	srv *http.Server
 	ln  net.Listener
@@ -30,16 +33,25 @@ type HTTPServer struct {
 func NewHTTPServer() *HTTPServer {
 	// The HTTP liveness endpoint is host-facing observability; its
 	// uptime clock never touches simulated state.
-	return &HTTPServer{started: time.Now()} //viplint:allow simdeterminism -- host-facing /healthz uptime only
+	return &HTTPServer{
+		started: time.Now(), //viplint:allow simdeterminism,walltime -- host-facing /healthz uptime only
+		broker:  NewSSEBroker(),
+	}
 }
 
-// Publish replaces the snapshot served at /metrics.
+// Publish replaces the snapshot served at /metrics and pushes it to any
+// /stream subscribers as a "metrics" event.
 func (h *HTTPServer) Publish(prom []byte) {
 	h.mu.Lock()
 	h.prom = prom
 	h.publishs++
 	h.mu.Unlock()
+	h.broker.Publish("metrics", prom)
 }
+
+// Broker exposes the SSE broker so embedders (vipserve) can publish
+// their own event types onto the same /stream feed.
+func (h *HTTPServer) Broker() *SSEBroker { return h.broker }
 
 // OnScrape installs a callback whose return value is appended to the
 // published snapshot on every GET /metrics. Push-model producers (the
@@ -60,11 +72,12 @@ func (h *HTTPServer) Publishes() uint64 {
 	return h.publishs
 }
 
-// Handler returns the mux serving /metrics and /healthz.
+// Handler returns the mux serving /metrics, /healthz and /stream.
 func (h *HTTPServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", h.handleMetrics)
 	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/stream", h.handleStream)
 	return mux
 }
 
@@ -99,8 +112,45 @@ func (h *HTTPServer) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	_ = json.NewEncoder(w).Encode(map[string]any{
 		"status":    "ok",
 		"snapshots": n,
-		"uptime_s":  time.Since(h.started).Seconds(), //viplint:allow simdeterminism -- host-facing /healthz uptime only
+		"uptime_s":  time.Since(h.started).Seconds(), //viplint:allow simdeterminism,walltime -- host-facing /healthz uptime only
 	})
+}
+
+// handleStream serves one SSE subscriber: the current snapshot is sent
+// synchronously before the handler blocks (a client that connects after
+// the first sampler tick always receives at least one event, however
+// short the remaining run), then every subsequent Publish is relayed
+// until the client disconnects.
+func (h *HTTPServer) handleStream(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	fl, ok := SSEPrepare(w)
+	if !ok {
+		return
+	}
+	ch, cancel := h.broker.Subscribe(0)
+	defer cancel()
+	h.mu.Lock()
+	body := h.prom
+	h.mu.Unlock()
+	if len(body) == 0 {
+		body = []byte("# (no samples published yet)\n")
+	}
+	_, _ = w.Write(SSEFrame("metrics", 0, body))
+	fl.Flush()
+	for {
+		select {
+		case frame := <-ch:
+			if _, err := w.Write(frame); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-req.Context().Done():
+			return
+		}
+	}
 }
 
 // Start binds the server to addr (e.g. ":9090") and serves in a

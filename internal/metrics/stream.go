@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// SSE (Server-Sent Events) broker shared by the two live-telemetry
+// surfaces: vipsim's metrics endpoint streams sampler snapshots mid-run
+// at /stream, and vipserve streams job lifecycle events plus periodic
+// service snapshots at /v1/sim/stream. SSE over plain net/http keeps
+// the module dependency-free (no websocket library) and curl-friendly.
+//
+// The broker is deliberately lossy toward slow consumers: Publish never
+// blocks the producer (the engine sampler tick or the serve request
+// path); a subscriber whose buffer is full drops the frame and the drop
+// is counted. Telemetry must never apply backpressure to the system it
+// observes — the same discipline the sim-time probes follow, applied to
+// the host side.
+
+// SSEBroker fans published event frames out to any number of
+// subscribers. The zero value is not usable; construct with
+// NewSSEBroker.
+type SSEBroker struct {
+	mu      sync.Mutex
+	subs    map[chan []byte]struct{}
+	nextID  uint64
+	dropped uint64
+}
+
+// NewSSEBroker returns an empty broker.
+func NewSSEBroker() *SSEBroker {
+	return &SSEBroker{subs: make(map[chan []byte]struct{})}
+}
+
+// SSEFrame renders one wire-format event frame: optional "event:" and
+// "id:" fields followed by one "data:" line per payload line and the
+// blank-line terminator. Multi-line payloads (Prometheus text) are
+// split so the client's EventSource reassembles them losslessly.
+func SSEFrame(event string, id uint64, data []byte) []byte {
+	var b bytes.Buffer
+	if event != "" {
+		fmt.Fprintf(&b, "event: %s\n", event)
+	}
+	if id > 0 {
+		fmt.Fprintf(&b, "id: %d\n", id)
+	}
+	for _, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n")) {
+		b.WriteString("data: ")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// Publish renders data as an SSE frame with the next sequence id and
+// offers it to every subscriber. It never blocks: frames a subscriber
+// cannot buffer are dropped (and counted), preserving per-subscriber
+// order among the frames that do arrive.
+func (b *SSEBroker) Publish(event string, data []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	b.nextID++
+	frame := SSEFrame(event, b.nextID, data)
+	for ch := range b.subs {
+		select {
+		case ch <- frame:
+		default:
+			b.dropped++
+		}
+	}
+}
+
+// Subscribe registers a new subscriber with the given channel buffer
+// (<= 0 means 64) and returns its frame channel plus a cancel function.
+// Cancel is idempotent and must be called to release the subscription.
+func (b *SSEBroker) Subscribe(buf int) (<-chan []byte, func()) {
+	if buf <= 0 {
+		buf = 64
+	}
+	ch := make(chan []byte, buf)
+	b.mu.Lock()
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			b.mu.Lock()
+			delete(b.subs, ch)
+			b.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers reports the current subscriber count.
+func (b *SSEBroker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Dropped reports how many frames were discarded because a subscriber's
+// buffer was full.
+func (b *SSEBroker) Dropped() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// SSEPrepare marks the response as an event stream and returns the
+// flusher the send loop needs. A transport that cannot stream gets a
+// 500 and ok=false.
+func SSEPrepare(w http.ResponseWriter) (http.Flusher, bool) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported by transport", http.StatusInternalServerError)
+		return nil, false
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.Header().Set("X-Accel-Buffering", "no")
+	return fl, true
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSSEFrameFormat(t *testing.T) {
+	got := string(SSEFrame("job", 3, []byte("line1\nline2\n")))
+	want := "event: job\nid: 3\ndata: line1\ndata: line2\n\n"
+	if got != want {
+		t.Errorf("SSEFrame = %q, want %q", got, want)
+	}
+}
+
+func TestSSEBrokerFanout(t *testing.T) {
+	b := NewSSEBroker()
+	ch1, cancel1 := b.Subscribe(4)
+	ch2, cancel2 := b.Subscribe(4)
+	defer cancel1()
+	b.Publish("x", []byte("one"))
+	b.Publish("x", []byte("two"))
+	for _, ch := range []<-chan []byte{ch1, ch2} {
+		for _, want := range []string{"data: one", "data: two"} {
+			frame := string(<-ch)
+			if !strings.Contains(frame, want) {
+				t.Errorf("frame %q missing %q", frame, want)
+			}
+		}
+	}
+	cancel2()
+	cancel2() // idempotent
+	if n := b.Subscribers(); n != 1 {
+		t.Errorf("subscribers after cancel = %d, want 1", n)
+	}
+	// A full subscriber drops frames instead of blocking the producer.
+	ch3, cancel3 := b.Subscribe(1)
+	defer cancel3()
+	_ = ch3
+	b.Publish("x", []byte("a"))
+	b.Publish("x", []byte("b"))
+	if d := b.Dropped(); d == 0 {
+		t.Error("overfilled subscriber recorded no drops")
+	}
+}
+
+// TestHTTPServerStream: a /stream subscriber receives the current
+// snapshot synchronously on connect, then each Publish as it happens.
+func TestHTTPServerStream(t *testing.T) {
+	h := NewHTTPServer()
+	h.Publish([]byte("vip_x 1\n"))
+	ts := httptest.NewServer(h.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+	readFrame := func() string {
+		var b strings.Builder
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				t.Fatalf("reading frame: %v (got %q)", err, b.String())
+			}
+			if line == "\n" {
+				return b.String()
+			}
+			b.WriteString(line)
+		}
+	}
+	if f := readFrame(); !strings.Contains(f, "event: metrics") || !strings.Contains(f, "data: vip_x 1") {
+		t.Fatalf("initial frame = %q, want current snapshot", f)
+	}
+	h.Publish([]byte("vip_x 2\n"))
+	if f := readFrame(); !strings.Contains(f, "data: vip_x 2") {
+		t.Fatalf("second frame = %q, want published snapshot", f)
+	}
+}

@@ -68,6 +68,14 @@ type Pool struct {
 	cap    int
 	closed bool
 	wg     sync.WaitGroup
+
+	// clock, when set, reads the caller's deadline ordinal "now" so the
+	// pool can count tasks dispatched after their EDF deadline already
+	// passed. The pool itself never reads a wall clock: the ordinal space
+	// belongs to the submitter (vipserve passes unix-nanos).
+	clock      func() int64
+	dispatched uint64
+	misses     uint64
 }
 
 // NewPool starts a pool with the given worker count (<= 0 means the
@@ -126,6 +134,33 @@ func (p *Pool) Depth() int {
 // Cap reports the admission-queue capacity.
 func (p *Pool) Cap() int { return p.cap }
 
+// SetClock installs the deadline-ordinal clock used to detect late
+// dispatches. It must read the same ordinal space Submit's deadlines use
+// (vipserve: host unix-nanos). A nil clock (the default) disables
+// deadline-miss accounting.
+func (p *Pool) SetClock(fn func() int64) {
+	p.mu.Lock()
+	p.clock = fn
+	p.mu.Unlock()
+}
+
+// Dispatched reports how many tasks workers have popped for execution.
+func (p *Pool) Dispatched() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dispatched
+}
+
+// DeadlineMisses reports how many tasks were dispatched after their EDF
+// deadline had already passed — the queue was so backed up that even
+// earliest-deadline-first ordering could not serve them in time. Zero
+// when no clock is installed.
+func (p *Pool) DeadlineMisses() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.misses
+}
+
 // Close stops admission and waits for the workers to drain the queue
 // and exit. Tasks still queued at Close time are dispatched with a
 // cancelled context, so their submitters observe completion (with
@@ -165,6 +200,10 @@ func (p *Pool) worker() {
 			return
 		}
 		t := heap.Pop(&p.q).(task)
+		p.dispatched++
+		if p.clock != nil && t.deadline < p.clock() {
+			p.misses++
+		}
 		closed := p.closed
 		p.mu.Unlock()
 

@@ -17,6 +17,7 @@ import (
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/noc"
 	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/telemetry"
 	"github.com/vipsim/vip/internal/trace"
 )
 
@@ -132,6 +133,12 @@ type Config struct {
 	// gauges (see internal/metrics); nil disables the whole layer at
 	// zero cost.
 	Metrics *metrics.Registry
+
+	// Spans, when non-nil, records the deterministic sim-time span
+	// stream (frame lifecycle, per-hop queue/service/DRAM/NoC segments,
+	// QoS outcomes, recovery detours; see internal/telemetry). Nil
+	// disables emission at zero cost.
+	Spans *telemetry.Recorder
 
 	// Faults configures the deterministic hardware-fault injector wired
 	// through every component (see internal/fault). The zero value
@@ -279,6 +286,7 @@ func New(cfg Config) *Platform {
 			IdleW:         prm.ActiveW*cfg.IdlePowerFrac + 0.0005,
 			Tracer:        cfg.Tracer,
 			Metrics:       cfg.Metrics,
+			Spans:         cfg.Spans,
 		}
 		if inj != nil || cfg.Watchdog > 0 {
 			ipCfg.Injector = inj
@@ -307,6 +315,10 @@ func (p *Platform) Tracer() trace.Tracer { return p.cfg.Tracer }
 // Metrics returns the configured metrics registry (nil when metrics are
 // disabled; a nil registry is safe to use).
 func (p *Platform) Metrics() *metrics.Registry { return p.cfg.Metrics }
+
+// Spans returns the configured span recorder (nil when span tracing is
+// off; a nil recorder is safe to use).
+func (p *Platform) Spans() *telemetry.Recorder { return p.cfg.Spans }
 
 // Injector returns the platform's fault injector (nil when fault
 // injection is disabled; a nil injector is safe to use).

@@ -15,9 +15,19 @@
 // — the service's flow-control credit, never a blocked accept loop.
 //
 // Endpoints: POST /v1/sim (sync, or ?async=1 returning a job id),
-// GET /v1/jobs/{id}, GET /v1/cache/stats, plus the metrics layer's
-// /metrics and /healthz with the serve instruments appended at scrape
-// time.
+// GET /v1/jobs/{id}, GET /v1/sim/stream (SSE: job lifecycle events and
+// periodic service snapshots), GET /v1/cache/stats, GET /ready
+// (admission readiness, distinct from liveness), plus the metrics
+// layer's /metrics and /healthz with the serve instruments appended at
+// scrape time, and optionally net/http/pprof under /debug/pprof/.
+//
+// Every request is wrapped in a wall-clock telemetry.RequestSpan: it is
+// tagged with an X-Request-Id, its stage latencies (admit, cache,
+// queue, simulate) are reported in an X-Vip-Stages response header, and
+// the full span (with the encode stage) is written as one JSON line to
+// the configured access log. This is the service's wall-clock domain —
+// deliberately separate from the engine's deterministic sim-time span
+// stream (internal/telemetry.Recorder), which never reads a host clock.
 //
 // Everything here runs on host goroutines and the host clock — it is a
 // network service, not a model — so it lives outside the simloop-policed
@@ -32,6 +42,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -76,6 +87,20 @@ type Config struct {
 	// vip.Simulate and serializing the report; tests substitute stubs to
 	// control timing and output.
 	Run func(vip.Scenario) ([]byte, error)
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// completed request (the wall-clock request span). Writes are
+	// serialized by the server.
+	AccessLog io.Writer
+	// StreamInterval is the period of the service snapshots pushed on
+	// /v1/sim/stream between job events (default 1s). Negative disables
+	// the periodic snapshots, leaving only the synchronous initial
+	// snapshot and job lifecycle events — tests use that for a
+	// deterministic event sequence.
+	StreamInterval time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — the
+	// production escape hatch for profiling a live service. Off by
+	// default: the profiles expose internals.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Run == nil {
 		c.Run = runScenario
+	}
+	if c.StreamInterval == 0 {
+		c.StreamInterval = time.Second
 	}
 	return c
 }
@@ -139,6 +167,8 @@ type Job struct {
 	report  []byte
 	done    chan struct{}
 	created time.Time
+	started time.Time // first worker dispatch (zero for cache fast path)
+	ended   time.Time // completion, whatever the outcome
 }
 
 // SimRequest is the wire form of a scenario submission. Every knob is
@@ -207,6 +237,7 @@ type Server struct {
 	order    []string // job ids, oldest first, for pruning
 	inflight map[string]*Job
 	seq      uint64
+	reqSeq   uint64
 	depth    stats.Sample // queue depth observed at each admission
 
 	// Serve counters (guarded by mu; rendered at /metrics scrape).
@@ -216,6 +247,9 @@ type Server struct {
 	syncReqs  uint64
 	asyncReqs uint64
 	failures  uint64
+	timeouts  uint64 // sync waits that hit their deadline (504)
+
+	accessMu sync.Mutex // serializes AccessLog writes
 
 	srv *http.Server
 	ln  net.Listener
@@ -232,19 +266,28 @@ func New(cfg Config) *Server {
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 	}
+	// The pool's EDF deadlines are host unix-nanos (see handleSim); give
+	// it the matching clock so late dispatches are counted.
+	s.pool.SetClock(func() int64 { return now().UnixNano() })
 	s.hs.OnScrape(s.promInstruments)
 	return s
 }
 
-// Handler returns the service mux.
+// Handler returns the service mux, wrapped in the observability shell
+// (request ids, wall-clock request spans, access log).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sim", s.handleSim)
+	mux.HandleFunc("GET /v1/sim/stream", s.handleStream)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("GET /ready", s.handleReady)
 	mux.Handle("/metrics", s.hs.Handler())
 	mux.Handle("/healthz", s.hs.Handler())
-	return mux
+	if s.cfg.EnablePprof {
+		mountPprof(mux)
+	}
+	return s.instrument(mux)
 }
 
 // Start binds the service to addr (":0" picks a free port) and serves
@@ -292,6 +335,8 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 
 // handleSim admits one scenario submission.
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	rs := reqSpanFrom(r.Context())
+	admitStart := now()
 	var req SimRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -319,6 +364,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	if req.DeadlineMS > 0 {
 		deadline = time.Duration(req.DeadlineMS * float64(time.Millisecond))
 	}
+	rs.Hash = hash
+	rs.Async = async
+	rs.AddStage("admit", now().Sub(admitStart).Nanoseconds())
 
 	s.mu.Lock()
 	if async {
@@ -329,12 +377,15 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	// Fast path: content-addressed replay, no queue, no engine.
+	cacheStart := now()
 	if body, ok := s.cache.Get(key); ok {
+		rs.AddStage("cache", now().Sub(cacheStart).Nanoseconds())
 		job := s.newJob(hash)
 		s.completeJob(job, body, "hit", nil)
 		s.respond(w, r, job, async, body, "hit")
 		return
 	}
+	rs.AddStage("cache", now().Sub(cacheStart).Nanoseconds())
 
 	// Coalesce onto an identical in-flight run, or admit a new one.
 	s.mu.Lock()
@@ -380,12 +431,24 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	select {
 	case <-job.done:
 	case <-ctx.Done():
+		s.mu.Lock()
+		s.timeouts++
+		s.mu.Unlock()
 		httpError(w, http.StatusGatewayTimeout,
 			"deadline exceeded while queued/running; poll /v1/jobs/%s or retry", job.ID)
 		return
 	}
 	s.mu.Lock()
 	body, errMsg, cacheState := job.report, job.Error, job.Cache
+	// Stage latencies from the job record: queue is admission to first
+	// worker dispatch, simulate is dispatch to completion. A job that
+	// completed without dispatch (late cache hit) has neither.
+	if !job.started.IsZero() {
+		rs.AddStage("queue", job.started.Sub(job.created).Nanoseconds())
+		if !job.ended.IsZero() {
+			rs.AddStage("simulate", job.ended.Sub(job.started).Nanoseconds())
+		}
+	}
 	s.mu.Unlock()
 	if errMsg != "" {
 		httpError(w, http.StatusInternalServerError, "%s", errMsg)
@@ -397,10 +460,17 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, r, job, false, body, cacheState)
 }
 
-// respond writes the sync report or the async job stub.
+// respond writes the sync report or the async job stub. The stage
+// breakdown collected so far is exposed in X-Vip-Stages; the encode
+// stage is measured after the body write, so it appears only in the
+// access log.
 func (s *Server) respond(w http.ResponseWriter, r *http.Request, job *Job, async bool, body []byte, cacheState string) {
+	rs := reqSpanFrom(r.Context())
 	w.Header().Set("X-Vip-Scenario-Hash", job.Hash)
 	w.Header().Set("X-Vip-Engine-Version", vip.EngineVersion)
+	if hdr := rs.StageHeader(); hdr != "" {
+		w.Header().Set("X-Vip-Stages", hdr)
+	}
 	if async {
 		s.mu.Lock()
 		status := jobStatus(job)
@@ -416,9 +486,12 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, job *Job, async
 	}
 	if cacheState != "" {
 		w.Header().Set("X-Vip-Cache", cacheState)
+		rs.Cache = cacheState
 	}
 	w.Header().Set("Content-Type", "application/json")
+	encodeStart := now()
 	_, _ = w.Write(body)
+	rs.AddStage("encode", now().Sub(encodeStart).Nanoseconds())
 }
 
 // jobStatus derives the externally visible state; the caller must hold
@@ -454,6 +527,7 @@ func (s *Server) newJob(hash string) *Job {
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.publishJobLocked(job, StatusQueued)
 	for len(s.order) > s.cfg.MaxJobs {
 		oldest := s.jobs[s.order[0]]
 		if oldest != nil && jobStatus(oldest) == StatusQueued || oldest != nil && jobStatus(oldest) == StatusRunning {
@@ -470,6 +544,8 @@ func (s *Server) newJob(hash string) *Job {
 func (s *Server) runJob(ctx context.Context, job *Job, key string, sc vip.Scenario) {
 	s.mu.Lock()
 	job.Status = StatusRunning
+	job.started = now()
+	s.publishJobLocked(job, StatusRunning)
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
@@ -515,6 +591,8 @@ func (s *Server) completeJob(job *Job, body []byte, cacheState string, err error
 		job.Cache = cacheState
 		job.report = body
 	}
+	job.ended = now()
+	s.publishJobLocked(job, job.Status)
 	close(job.done)
 	s.mu.Unlock()
 }
@@ -551,24 +629,35 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 
 // handleCacheStats reports the cache and admission counters.
 func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	doc := map[string]any{
-		"cache":          s.cache.Stats(),
-		"engine_runs":    s.runs,
-		"shed":           s.shed,
-		"coalesced":      s.coalesced,
-		"sync_requests":  s.syncReqs,
-		"async_requests": s.asyncReqs,
-		"failures":       s.failures,
-		"queue_depth":    s.pool.Depth(),
-		"queue_cap":      s.pool.Cap(),
-		"engine_version": vip.EngineVersion,
-	}
-	s.mu.Unlock()
+	doc := s.statsDoc()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	_ = enc.Encode(doc)
+}
+
+// statsDoc snapshots the service counters; it backs both
+// /v1/cache/stats and the periodic /v1/sim/stream snapshots.
+func (s *Server) statsDoc() map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return map[string]any{
+		"cache":           s.cache.Stats(),
+		"engine_runs":     s.runs,
+		"shed":            s.shed,
+		"coalesced":       s.coalesced,
+		"sync_requests":   s.syncReqs,
+		"async_requests":  s.asyncReqs,
+		"failures":        s.failures,
+		"timeouts":        s.timeouts,
+		"deadline_misses": s.pool.DeadlineMisses(),
+		"dispatched":      s.pool.Dispatched(),
+		"queue_depth":     s.pool.Depth(),
+		"queue_cap":       s.pool.Cap(),
+		"inflight":        len(s.inflight),
+		"subscribers":     s.hs.Broker().Subscribers(),
+		"engine_version":  vip.EngineVersion,
+	}
 }
 
 // promInstruments renders the serve counters for the /metrics scrape:
@@ -576,27 +665,38 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 // observed at admission time.
 func (s *Server) promInstruments() []byte {
 	cs := s.cache.Stats()
+	hitRatio := 0.0
+	if lookups := cs.Hits + cs.Misses; lookups > 0 {
+		hitRatio = float64(cs.Hits) / float64(lookups)
+	}
 	s.mu.Lock()
 	vals := map[string]float64{
-		"serve.cache.hits":       float64(cs.Hits),
-		"serve.cache.disk_hits":  float64(cs.DiskHits),
-		"serve.cache.misses":     float64(cs.Misses),
-		"serve.cache.evictions":  float64(cs.Evictions),
-		"serve.cache.entries":    float64(cs.Entries),
-		"serve.cache.bytes":      float64(cs.Bytes),
-		"serve.engine_runs":      float64(s.runs),
-		"serve.shed":             float64(s.shed),
-		"serve.coalesced":        float64(s.coalesced),
-		"serve.requests.sync":    float64(s.syncReqs),
-		"serve.requests.async":   float64(s.asyncReqs),
-		"serve.failures":         float64(s.failures),
-		"serve.queue.depth":      float64(s.pool.Depth()),
-		"serve.queue.cap":        float64(s.pool.Cap()),
-		"serve.queue.depth_obs":  float64(s.depth.N()),
-		"serve.queue.depth_p50":  s.depth.P50(),
-		"serve.queue.depth_p95":  s.depth.P95(),
-		"serve.queue.depth_max":  s.depth.Max(),
-		"serve.queue.depth_mean": s.depth.Mean(),
+		"serve.cache.hits":          float64(cs.Hits),
+		"serve.cache.disk_hits":     float64(cs.DiskHits),
+		"serve.cache.misses":        float64(cs.Misses),
+		"serve.cache.evictions":     float64(cs.Evictions),
+		"serve.cache.entries":       float64(cs.Entries),
+		"serve.cache.bytes":         float64(cs.Bytes),
+		"serve.cache.hit_ratio":     hitRatio,
+		"serve.engine_runs":         float64(s.runs),
+		"serve.shed_total":          float64(s.shed),
+		"serve.coalesced":           float64(s.coalesced),
+		"serve.inflight_coalesced":  float64(len(s.inflight)),
+		"serve.requests.sync":       float64(s.syncReqs),
+		"serve.requests.async":      float64(s.asyncReqs),
+		"serve.failures":            float64(s.failures),
+		"serve.timeout_total":       float64(s.timeouts),
+		"serve.deadline_miss_total": float64(s.pool.DeadlineMisses()),
+		"serve.dispatched_total":    float64(s.pool.Dispatched()),
+		"serve.queue.depth":         float64(s.pool.Depth()),
+		"serve.queue.cap":           float64(s.pool.Cap()),
+		"serve.queue.depth_obs":     float64(s.depth.N()),
+		"serve.queue.depth_p50":     s.depth.P50(),
+		"serve.queue.depth_p95":     s.depth.P95(),
+		"serve.queue.depth_max":     s.depth.Max(),
+		"serve.queue.depth_mean":    s.depth.Mean(),
+		"serve.stream.subscribers":  float64(s.hs.Broker().Subscribers()),
+		"serve.stream.dropped":      float64(s.hs.Broker().Dropped()),
 	}
 	s.mu.Unlock()
 	var b strings.Builder

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/vipsim/vip/internal/trace"
+)
+
+// WriteJSONL writes the sorted span log as JSON Lines: one compact JSON
+// object per span. Two runs of the same scenario and seed produce
+// byte-identical output; the reproducibility tests pin that.
+func (r *Recorder) WriteJSONL(w io.Writer) error {
+	for _, s := range r.Spans() {
+		b, err := json.Marshal(s)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChrome writes the recording as a Chrome/Perfetto trace JSON
+// array: one named track (thread) per span track in first-seen order,
+// "X" duration events for spans, "i" instants for marks, with span
+// attributes carried in args.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	spans := r.Spans()
+	tid := make(map[string]int)
+	var evs []trace.ChromeEvent
+	for _, s := range spans {
+		if _, ok := tid[s.Track]; ok {
+			continue
+		}
+		id := len(tid) + 1
+		tid[s.Track] = id
+		evs = append(evs, trace.ThreadName(id, s.Track))
+	}
+	for _, s := range spans {
+		ce := trace.ChromeEvent{
+			Name:  s.Name,
+			TSUs:  s.Start.Microseconds(),
+			PID:   1,
+			TID:   tid[s.Track],
+			Cat:   s.Cat,
+			Phase: "X",
+			DurUs: s.Dur.Microseconds(),
+		}
+		if s.Dur == 0 {
+			ce.Phase = "i"
+			ce.DurUs = 0
+		}
+		if len(s.Attrs) > 0 {
+			args := make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Val
+			}
+			ce.Args = args
+		}
+		evs = append(evs, ce)
+	}
+	return trace.WriteChromeJSON(w, evs)
+}

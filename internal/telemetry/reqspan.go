@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// The wall-clock domain. RequestSpan describes one HTTP request's
+// passage through the serving layer: admission (decode + canonicalize +
+// hash), EDF queue wait, cache lookup, simulation, response encode.
+// It holds durations only — the serving layer reads its own clock and
+// hands nanosecond intervals in, so this package stays free of
+// wall-clock calls (the viplint walltime rule checks).
+
+// ReqStage is one named stage latency of a request.
+type ReqStage struct {
+	Name  string `json:"name"`
+	DurNS int64  `json:"dur_ns"`
+}
+
+// RequestSpan is the wall-clock span of one request.
+type RequestSpan struct {
+	ID     string     `json:"id"`
+	Method string     `json:"method"`
+	Path   string     `json:"path"`
+	Status int        `json:"status"`
+	Hash   string     `json:"hash,omitempty"`
+	Cache  string     `json:"cache,omitempty"` // "hit", "miss", "coalesced", ""
+	Async  bool       `json:"async,omitempty"`
+	Stages []ReqStage `json:"stages,omitempty"`
+	// TotalNS covers first byte read to last byte written.
+	TotalNS int64 `json:"total_ns"`
+}
+
+// AddStage appends one stage latency. Negative durations clamp to zero
+// (the host clock can step backwards; a span must not).
+func (rs *RequestSpan) AddStage(name string, durNS int64) {
+	if durNS < 0 {
+		durNS = 0
+	}
+	rs.Stages = append(rs.Stages, ReqStage{Name: name, DurNS: durNS})
+}
+
+// StageHeader renders the stage breakdown as a compact header value,
+// e.g. "admit=0.041ms;queue=1.250ms;simulate=12.007ms".
+func (rs *RequestSpan) StageHeader() string {
+	var b strings.Builder
+	for i, st := range rs.Stages {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s=%.3fms", st.Name, float64(st.DurNS)/1e6)
+	}
+	return b.String()
+}
+
+// accessRecord is the JSON shape of one access-log line: the request
+// span plus the completion timestamp the caller observed.
+type accessRecord struct {
+	Time string `json:"time"`
+	RequestSpan
+}
+
+// AccessLogLine renders one structured access-log line (no trailing
+// newline). ts is the caller-formatted completion timestamp.
+func (rs *RequestSpan) AccessLogLine(ts string) ([]byte, error) {
+	return json.Marshal(accessRecord{Time: ts, RequestSpan: *rs})
+}

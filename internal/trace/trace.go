@@ -109,8 +109,10 @@ func (r *Recorder) Tracks() []string {
 	return out
 }
 
-// chromeEvent is one entry of the Chrome trace JSON array.
-type chromeEvent struct {
+// ChromeEvent is one entry of the Chrome trace JSON array. It is
+// exported so other recording layers (internal/telemetry) can share the
+// same writer instead of growing a second, subtly different format.
+type ChromeEvent struct {
 	Name  string         `json:"name"`
 	Phase string         `json:"ph"`
 	TSUs  float64        `json:"ts"`
@@ -121,24 +123,38 @@ type chromeEvent struct {
 	Cat   string         `json:"cat,omitempty"`
 }
 
+// ThreadName builds the metadata event that names a track (tid) in the
+// Chrome/Perfetto UI.
+func ThreadName(tid int, name string) ChromeEvent {
+	return ChromeEvent{
+		Name:  "thread_name",
+		Phase: "M",
+		PID:   1,
+		TID:   tid,
+		Args:  map[string]any{"name": name},
+	}
+}
+
+// WriteChromeJSON writes events as one Chrome trace JSON array, loadable
+// in chrome://tracing or ui.perfetto.dev. Map-valued Args encode with
+// sorted keys (encoding/json), so output is deterministic.
+func WriteChromeJSON(w io.Writer, evs []ChromeEvent) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(evs)
+}
+
 // WriteChrome writes the recording in Chrome trace format (a JSON array
 // of events), loadable in chrome://tracing or ui.perfetto.dev.
 func (r *Recorder) WriteChrome(w io.Writer) error {
 	tracks := r.Tracks()
 	tid := make(map[string]int, len(tracks))
-	evs := make([]chromeEvent, 0, r.Len()+len(tracks))
+	evs := make([]ChromeEvent, 0, r.Len()+len(tracks))
 	for i, t := range tracks {
 		tid[t] = i + 1
-		evs = append(evs, chromeEvent{
-			Name:  "thread_name",
-			Phase: "M",
-			PID:   1,
-			TID:   i + 1,
-			Args:  map[string]any{"name": t},
-		})
+		evs = append(evs, ThreadName(i+1, t))
 	}
 	for _, e := range r.Events() {
-		ce := chromeEvent{
+		ce := ChromeEvent{
 			Name:  e.Name,
 			TSUs:  e.Start.Microseconds(),
 			PID:   1,
@@ -153,8 +169,7 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		}
 		evs = append(evs, ce)
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(evs)
+	return WriteChromeJSON(w, evs)
 }
 
 // WriteTimeline renders an ASCII timeline of [from, to) with the given

@@ -12,11 +12,13 @@ import (
 
 // artifacts captures every machine-readable output of one run.
 type artifacts struct {
-	report  []byte
-	tsJSON  []byte
-	tsCSV   []byte
-	chrome  []byte
-	summary string
+	report     []byte
+	tsJSON     []byte
+	tsCSV      []byte
+	chrome     []byte
+	spanJSONL  []byte
+	spanChrome []byte
+	summary    string
 }
 
 // runOnce executes a faulted, recovered, metered, traced multi-app
@@ -33,6 +35,7 @@ func runOnce(t *testing.T, seed uint64) artifacts {
 		Seed:            seed,
 		MetricsInterval: vip.Millisecond,
 		ChromeTrace:     &chrome,
+		TraceSpans:      true,
 		Faults:          faults,
 	})
 	if err != nil {
@@ -54,6 +57,16 @@ func runOnce(t *testing.T, seed uint64) artifacts {
 		t.Fatal(err)
 	}
 	out.tsCSV = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := res.WriteSpanJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.spanJSONL = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if err := res.WriteSpanChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out.spanChrome = append([]byte(nil), buf.Bytes()...)
 	out.chrome = chrome.Bytes()
 	out.summary = res.Summary()
 	return out
@@ -83,11 +96,20 @@ func TestSameSeedByteIdentical(t *testing.T) {
 	check("time-series JSON", a.tsJSON, b.tsJSON)
 	check("time-series CSV", a.tsCSV, b.tsCSV)
 	check("chrome trace", a.chrome, b.chrome)
+	check("span JSONL", a.spanJSONL, b.spanJSONL)
+	check("span chrome trace", a.spanChrome, b.spanChrome)
 	if a.summary != b.summary {
 		t.Errorf("summaries differ between same-seed runs:\n%s\n---\n%s", a.summary, b.summary)
 	}
-	if len(a.report) == 0 || len(a.tsCSV) == 0 || len(a.chrome) == 0 {
+	if len(a.report) == 0 || len(a.tsCSV) == 0 || len(a.chrome) == 0 || len(a.spanJSONL) == 0 {
 		t.Fatal("a determinism check over empty artifacts proves nothing")
+	}
+	// The faulted multi-app scenario must exercise every span category,
+	// or the byte-compare above silently loses coverage.
+	for _, cat := range []string{`"cat":"frame"`, `"cat":"hop"`, `"cat":"qos"`, `"cat":"recovery"`} {
+		if !bytes.Contains(a.spanJSONL, []byte(cat)) {
+			t.Errorf("span log has no %s spans", cat)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"github.com/vipsim/vip/internal/core"
 	"github.com/vipsim/vip/internal/ipcore"
 	"github.com/vipsim/vip/internal/metrics"
+	"github.com/vipsim/vip/internal/telemetry"
 )
 
 // Result summarises one simulation.
@@ -61,8 +62,9 @@ type Result struct {
 	DegradedFlows   int    // flows that fell back to the baseline path
 	LaneQuarantines uint64 // lanes fenced off after failed resets
 
-	rep *core.Report
-	ts  *metrics.TimeSeries
+	rep   *core.Report
+	ts    *metrics.TimeSeries
+	spans *telemetry.Recorder
 }
 
 // FlowResult is one flow's QoS outcome.
@@ -190,6 +192,70 @@ func (r *Result) WriteTimeSeriesCSV(w io.Writer) error {
 		return fmt.Errorf("vip: no time series (set Scenario.MetricsInterval)")
 	}
 	return r.ts.WriteCSV(w)
+}
+
+// Span is one recorded sim-time telemetry span: an interval (or an
+// instant, when Dur is zero) on a named track, in one of the categories
+// "frame" (release-to-display lifecycle), "hop" (per-stage queue/service
+// segments), "qos" (deadline outcomes) and "recovery" (fault detours).
+type Span struct {
+	Track string
+	Cat   string
+	Name  string
+	Start Duration
+	Dur   Duration
+	// Attrs carries the span's annotations (e.g. "dram_ns", "qos") as
+	// ordered key/value pairs; values are int64 or string.
+	Attrs []SpanAttr
+}
+
+// SpanAttr is one span annotation.
+type SpanAttr struct {
+	Key string
+	Val any
+}
+
+// HasSpans reports whether the run recorded telemetry spans
+// (Scenario.TraceSpans was set).
+func (r *Result) HasSpans() bool { return r.spans != nil }
+
+// Spans returns the recorded spans sorted by start time; nil when span
+// tracing was disabled.
+func (r *Result) Spans() []Span {
+	if r.spans == nil {
+		return nil
+	}
+	in := r.spans.Spans()
+	out := make([]Span, len(in))
+	for i, s := range in {
+		sp := Span{Track: s.Track, Cat: s.Cat, Name: s.Name, Start: s.Start, Dur: s.Dur}
+		for _, a := range s.Attrs {
+			sp.Attrs = append(sp.Attrs, SpanAttr{Key: a.Key, Val: a.Val})
+		}
+		out[i] = sp
+	}
+	return out
+}
+
+// WriteSpanJSONL writes the span log as JSON Lines (one span per line,
+// sorted by start time). Same-seed runs produce byte-identical output.
+// It fails when span tracing was disabled.
+func (r *Result) WriteSpanJSONL(w io.Writer) error {
+	if r.spans == nil {
+		return fmt.Errorf("vip: no spans (set Scenario.TraceSpans)")
+	}
+	return r.spans.WriteJSONL(w)
+}
+
+// WriteSpanChrome writes the span recording as a Chrome/Perfetto trace
+// JSON array (open in ui.perfetto.dev): one track per flow and per chain
+// hop, with span attributes in args. It fails when span tracing was
+// disabled.
+func (r *Result) WriteSpanChrome(w io.Writer) error {
+	if r.spans == nil {
+		return fmt.Errorf("vip: no spans (set Scenario.TraceSpans)")
+	}
+	return r.spans.WriteChrome(w)
 }
 
 // Summary renders a human-readable report.

@@ -39,6 +39,7 @@ import (
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/platform"
 	"github.com/vipsim/vip/internal/sim"
+	"github.com/vipsim/vip/internal/telemetry"
 	"github.com/vipsim/vip/internal/trace"
 	"github.com/vipsim/vip/internal/workload"
 )
@@ -138,6 +139,14 @@ type Scenario struct {
 	// run (open in ui.perfetto.dev). Keep traced runs short: traces are
 	// sub-frame-granular and grow quickly.
 	ChromeTrace io.Writer
+	// TraceSpans, when true, records the causal frame-lifecycle span
+	// stream: one span per frame (release to display, with its QoS
+	// outcome), per-hop queue/service segments annotated with DRAM/NoC
+	// wait time, and fault-recovery detours. Spans are stamped from the
+	// deterministic simulation clock, so same-seed runs export
+	// byte-identical span logs. Read them back through Result.Spans,
+	// Result.WriteSpanJSONL and Result.WriteSpanChrome.
+	TraceSpans bool
 	// MetricsInterval, when positive, enables the metrics layer: every
 	// component registers its counters and gauges, and a sampler
 	// snapshots them into time series at this simulated period (1 ms is
@@ -342,6 +351,11 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 		rec = trace.NewRecorder()
 		pcfg.Tracer = rec
 	}
+	var spanRec *telemetry.Recorder
+	if sc.TraceSpans {
+		spanRec = telemetry.NewRecorder()
+		pcfg.Spans = spanRec
+	}
 	if sc.MetricsInterval > 0 {
 		pcfg.Metrics = metrics.NewRegistry()
 	}
@@ -392,6 +406,7 @@ func SimulateApps(sc Scenario, apps ...app.Spec) (*Result, error) {
 	if s := r.Sampler(); s != nil {
 		res.ts = s.TimeSeries()
 	}
+	res.spans = spanRec
 	return res, nil
 }
 
