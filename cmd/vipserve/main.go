@@ -4,10 +4,19 @@
 // re-simulating, identical in-flight submissions coalesce onto one run,
 // and load beyond the admission queue is shed with a retryable 429.
 //
+// With -store DIR the service keeps a durable job store: every accepted
+// job is persisted (WAL + snapshot, fsynced) before it is acknowledged,
+// and a restart replays the store — finished jobs come back queryable,
+// jobs that were interrupted mid-run are re-enqueued and re-simulated to
+// byte-identical results. SIGTERM/SIGINT triggers a graceful drain
+// (admission stops, /ready flips to 503, in-flight jobs finish, the
+// store is checkpointed) bounded by -drain-timeout.
+//
 // Usage:
 //
 //	vipserve -addr :8080
 //	vipserve -addr :8080 -cache-dir /var/cache/vip -workers 8 -queue 128
+//	vipserve -addr :8080 -store /var/lib/vip/jobs -cache-dir /var/cache/vip
 //
 // Then:
 //
@@ -25,6 +34,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +52,9 @@ func main() {
 	queue := flag.Int("queue", 64, "admission queue depth; beyond it requests shed with 429")
 	cacheEntries := flag.Int("cache-entries", 256, "in-memory result cache entries (LRU)")
 	cacheDir := flag.String("cache-dir", "", "optional on-disk result cache directory (persists across restarts)")
+	storeDir := flag.String("store", "", "optional durable job store directory; jobs survive crashes and restarts")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on finishing in-flight jobs during graceful shutdown")
+	maxAttempts := flag.Int("max-attempts", 0, "retry budget for jobs interrupted by crashes (0 = default 5)")
 	syncDeadline := flag.Duration("sync-deadline", 60*time.Second, "default deadline of synchronous requests")
 	bulkDeadline := flag.Duration("bulk-deadline", 15*time.Minute, "EDF deadline horizon of async (bulk) requests")
 	maxJobs := flag.Int("max-jobs", 1024, "retained job records for /v1/jobs")
@@ -74,6 +87,8 @@ func main() {
 		QueueDepth:     *queue,
 		CacheEntries:   *cacheEntries,
 		CacheDir:       *cacheDir,
+		StoreDir:       *storeDir,
+		MaxAttempts:    *maxAttempts,
 		SyncDeadline:   *syncDeadline,
 		BulkDeadline:   *bulkDeadline,
 		MaxJobs:        *maxJobs,
@@ -81,6 +96,15 @@ func main() {
 		StreamInterval: *streamInterval,
 		EnablePprof:    *enablePprof,
 	})
+	// A store the operator asked for but that cannot open at boot is a
+	// configuration error, not a runtime degradation: fail fast so the
+	// deployment notices, instead of silently running memory-only.
+	if *storeDir != "" {
+		if err := s.StoreOpenErr(); err != nil {
+			fmt.Fprintln(os.Stderr, "vipserve: job store:", err)
+			os.Exit(1)
+		}
+	}
 	bound, err := s.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vipserve:", err)
@@ -90,11 +114,20 @@ func main() {
 	if *cacheDir != "" {
 		fmt.Printf(", disk %s", *cacheDir)
 	}
+	if *storeDir != "" {
+		fmt.Printf(", store %s", *storeDir)
+	}
 	fmt.Println(")")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	fmt.Println("vipserve: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := s.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "vipserve: drain:", err)
+	}
+	cancel()
 	fmt.Println("vipserve: shutting down")
 	_ = s.Close()
 }

@@ -138,6 +138,7 @@ func All() []*Analyzer {
 		MapOrder,
 		ProbeGuard,
 		ErrCheckCodec,
+		FsyncDiscipline,
 		SimLoop,
 		PkgDoc,
 	}

@@ -37,6 +37,10 @@ func TestErrCheckCodec(t *testing.T) {
 	RunFixture(t, ErrCheckCodec, fixture("errcheckcodec"))
 }
 
+func TestFsyncDiscipline(t *testing.T) {
+	RunFixture(t, FsyncDiscipline, fixture("fsyncdiscipline"))
+}
+
 func TestPkgDoc(t *testing.T) {
 	RunFixture(t, PkgDoc, fixture("pkgdoc"))
 	RunFixture(t, PkgDoc, fixture("pkgdoc_missing"))

@@ -62,6 +62,7 @@ type Stats struct {
 	Misses     uint64 `json:"misses"`    // Get found nothing
 	Puts       uint64 `json:"puts"`      // values stored
 	Evictions  uint64 `json:"evictions"` // LRU entries dropped from memory
+	Corrupt    uint64 `json:"corrupt"`   // disk entries rejected (torn/altered), served as misses
 	Entries    int    `json:"entries"`   // current in-memory entries
 	Bytes      int64  `json:"bytes"`     // current in-memory payload bytes
 	MaxEntries int    `json:"max_entries"`
@@ -115,7 +116,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	c.mu.Unlock()
 
 	if c.dir != "" {
-		if v, err := os.ReadFile(c.path(key)); err == nil {
+		if v, ok := c.readDisk(key); ok {
 			c.mu.Lock()
 			// Re-check: another goroutine may have promoted it first.
 			if _, ok := c.items[key]; !ok {
@@ -195,9 +196,70 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, shard, k)
 }
 
-// writeDisk persists one entry atomically; persistence is best-effort
-// (a read-only disk degrades the cache to memory-only, it does not fail
-// the simulation that produced the value).
+// diskMagic opens every on-disk entry. The envelope is
+//
+//	vipcache1 <hex sha256 of payload>\n<payload>
+//
+// so a torn write (crash mid-flush) or bit rot is detected on read and
+// served as a miss — the scenario re-simulates deterministically —
+// instead of handing a client a truncated report. Entries written by
+// the pre-envelope format fail the magic check and heal the same way.
+const diskMagic = "vipcache1 "
+
+// envelopeLen is the fixed header size: magic + 64 hex digest chars +
+// newline.
+const envelopeLen = len(diskMagic) + sha256.Size*2 + 1
+
+// envelope frames val for the disk store.
+func envelope(val []byte) []byte {
+	out := make([]byte, 0, envelopeLen+len(val))
+	out = append(out, diskMagic...)
+	out = append(out, HashBytes(val)...)
+	out = append(out, '\n')
+	return append(out, val...)
+}
+
+// unenvelope verifies one disk entry and returns its payload; ok is
+// false for any truncated, altered or legacy-format entry.
+func unenvelope(b []byte) ([]byte, bool) {
+	if len(b) < envelopeLen || string(b[:len(diskMagic)]) != diskMagic || b[envelopeLen-1] != '\n' {
+		return nil, false
+	}
+	sum := string(b[len(diskMagic) : envelopeLen-1])
+	payload := b[envelopeLen:]
+	if HashBytes(payload) != sum {
+		return nil, false
+	}
+	return payload, true
+}
+
+// readDisk loads and verifies one disk entry. A torn or corrupt entry
+// counts as corrupt, is removed best-effort so the slot heals on the
+// next Put, and reads as a miss.
+func (c *Cache) readDisk(key string) ([]byte, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := unenvelope(b)
+	if !ok {
+		c.mu.Lock()
+		c.stats.Corrupt++
+		c.mu.Unlock()
+		_ = os.Remove(c.path(key)) // best-effort heal; next Put rewrites it
+		return nil, false
+	}
+	return payload, true
+}
+
+// writeDisk persists one entry crash-atomically: the checksummed
+// envelope is written to a temp file, fsynced, renamed into place, and
+// the parent directory fsynced so the rename itself survives a crash.
+// Persistence stays best-effort (a read-only disk degrades the cache to
+// memory-only, it does not fail the simulation that produced the
+// value), but a failure can no longer leave a plausible-looking partial
+// entry behind: an un-fsynced or half-written file fails the envelope
+// check on read.
 func (c *Cache) writeDisk(key string, val []byte) {
 	p := c.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
@@ -208,13 +270,30 @@ func (c *Cache) writeDisk(key string, val []byte) {
 		return
 	}
 	name := tmp.Name()
-	_, werr := tmp.Write(val)
+	_, werr := tmp.Write(envelope(val))
+	serr := tmp.Sync()
 	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(name)
+	if werr != nil || serr != nil || cerr != nil {
+		_ = os.Remove(name)
 		return
 	}
 	if err := os.Rename(name, p); err != nil {
-		os.Remove(name)
+		_ = os.Remove(name)
+		return
+	}
+	c.syncDir(filepath.Dir(p))
+}
+
+// syncDir makes a completed rename durable; errors stay best-effort
+// like the rest of the disk path.
+func (c *Cache) syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil || cerr != nil {
+		return
 	}
 }

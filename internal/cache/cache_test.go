@@ -121,3 +121,71 @@ func TestConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestTornDiskEntryIsMiss is the crash-atomicity regression test: a
+// disk entry truncated or altered by a crash mid-write must read as a
+// miss (the scenario re-simulates) — never as a corrupt payload handed
+// to a client — and the slot must heal on the next Put.
+func TestTornDiskEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	c := New(1, dir)
+	c.Put("aakey", []byte("full-report-payload"))
+	c.Put("bbkey", []byte("evictor")) // push aakey out of memory
+	p := filepath.Join(dir, "aa", "aakey")
+
+	b, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatalf("reading disk entry: %v", err)
+	}
+	cases := map[string][]byte{
+		"truncated":     b[:len(b)-5],
+		"flipped":       append(append([]byte{}, b[:len(b)-1]...), b[len(b)-1]^0xff),
+		"legacy-format": []byte("raw-pre-envelope-payload"),
+		"empty":         {},
+	}
+	names := []string{"truncated", "flipped", "legacy-format", "empty"}
+	for _, name := range names {
+		damaged := cases[name]
+		t.Run(name, func(t *testing.T) {
+			fresh := New(1, dir) // cold memory, disk only
+			if err := os.WriteFile(p, damaged, 0o644); err != nil {
+				t.Fatalf("planting damaged entry: %v", err)
+			}
+			if v, ok := fresh.Get("aakey"); ok {
+				t.Fatalf("damaged entry served as a hit: %q", v)
+			}
+			s := fresh.Stats()
+			if s.Corrupt != 1 {
+				t.Errorf("Corrupt = %d, want 1", s.Corrupt)
+			}
+			if s.Misses != 1 {
+				t.Errorf("Misses = %d, want 1", s.Misses)
+			}
+			// The damaged file is gone, and a re-Put fully heals the slot.
+			if _, err := os.Stat(p); !os.IsNotExist(err) {
+				t.Errorf("damaged entry not removed: %v", err)
+			}
+			fresh.Put("aakey", []byte("full-report-payload"))
+			healed := New(1, dir)
+			if v, ok := healed.Get("aakey"); !ok || string(v) != "full-report-payload" {
+				t.Errorf("healed Get = %q, %v", v, ok)
+			}
+		})
+	}
+}
+
+// TestEnvelopeRoundTrip pins the disk framing itself.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("report"), 1000)} {
+		got, ok := unenvelope(envelope(payload))
+		if !ok {
+			t.Fatalf("envelope(%d bytes) failed verification", len(payload))
+		}
+		if !bytes.Equal(got, payload) {
+			t.Errorf("round trip changed payload: %d bytes -> %d", len(payload), len(got))
+		}
+	}
+	if _, ok := unenvelope(nil); ok {
+		t.Error("nil unenveloped")
+	}
+}

@@ -76,6 +76,8 @@ type Pool struct {
 	clock      func() int64
 	dispatched uint64
 	misses     uint64
+	running    int        // tasks currently executing in workers
+	idle       *sync.Cond // broadcast when q drains and running drops to 0
 }
 
 // NewPool starts a pool with the given worker count (<= 0 means the
@@ -89,6 +91,7 @@ func NewPool(workers, queueCap int) *Pool {
 	}
 	p := &Pool{cap: queueCap}
 	p.cond = sync.NewCond(&p.mu)
+	p.idle = sync.NewCond(&p.mu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -133,6 +136,38 @@ func (p *Pool) Depth() int {
 
 // Cap reports the admission-queue capacity.
 func (p *Pool) Cap() int { return p.cap }
+
+// Inflight reports the number of tasks currently executing in workers.
+// Depth()+Inflight() is the pool's outstanding work.
+func (p *Pool) Inflight() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running
+}
+
+// Quiesce blocks until the pool is idle — admission queue empty and no
+// task executing — or ctx is cancelled, returning ctx.Err() in that
+// case. It does not stop admission: the caller owns that (vipserve
+// flips to draining and rejects new submissions first), so Quiesce is
+// the "finish what was accepted" half of a graceful drain. It is safe
+// to call concurrently with Submit and Close.
+func (p *Pool) Quiesce(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		p.mu.Lock()
+		p.idle.Broadcast()
+		p.mu.Unlock()
+	})
+	defer stop()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for (len(p.q) > 0 || p.running > 0) && ctx.Err() == nil {
+		p.idle.Wait()
+	}
+	return ctx.Err()
+}
 
 // SetClock installs the deadline-ordinal clock used to detect late
 // dispatches. It must read the same ordinal space Submit's deadlines use
@@ -201,6 +236,7 @@ func (p *Pool) worker() {
 		}
 		t := heap.Pop(&p.q).(task)
 		p.dispatched++
+		p.running++
 		if p.clock != nil && t.deadline < p.clock() {
 			p.misses++
 		}
@@ -212,5 +248,12 @@ func (p *Pool) worker() {
 			ctx = closedCtx
 		}
 		t.fn(ctx)
+
+		p.mu.Lock()
+		p.running--
+		if len(p.q) == 0 && p.running == 0 {
+			p.idle.Broadcast()
+		}
+		p.mu.Unlock()
 	}
 }

@@ -149,3 +149,48 @@ func TestPoolCloseDrainsWithCancelledContext(t *testing.T) {
 		t.Errorf("Submit after Close = %v, want ErrPoolClosed", err)
 	}
 }
+
+// TestPoolQuiesce: Quiesce returns only after every admitted task has
+// finished — the drain primitive vipserve's graceful shutdown rests on.
+func TestPoolQuiesce(t *testing.T) {
+	p := NewPool(2, 16)
+	defer p.Close()
+
+	// Idle pool quiesces immediately.
+	if err := p.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce on idle pool: %v", err)
+	}
+
+	var done atomic.Int32
+	release := make(chan struct{})
+	for i := 0; i < 6; i++ {
+		err := p.Submit(context.Background(), int64(i), func(context.Context) {
+			<-release
+			done.Add(1)
+		})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+
+	// With tasks blocked, Quiesce must time out, not report idle.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := p.Quiesce(ctx); err == nil {
+		t.Fatal("Quiesce reported idle while tasks were blocked")
+	}
+
+	close(release)
+	if err := p.Quiesce(context.Background()); err != nil {
+		t.Fatalf("Quiesce after release: %v", err)
+	}
+	if got := done.Load(); got != 6 {
+		t.Errorf("Quiesce returned with %d of 6 tasks complete", got)
+	}
+	if got := p.Inflight(); got != 0 {
+		t.Errorf("Inflight = %d after quiesce, want 0", got)
+	}
+	if got := p.Depth(); got != 0 {
+		t.Errorf("Depth = %d after quiesce, want 0", got)
+	}
+}

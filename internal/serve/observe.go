@@ -94,22 +94,34 @@ func (s *Server) logAccess(rs *telemetry.RequestSpan, start time.Time) {
 }
 
 // handleReady is the admission-readiness probe, distinct from /healthz
-// liveness: a live server that has filled its EDF queue answers 503 so
-// a load balancer stops routing new submissions to it while queued work
-// drains.
+// liveness: a live server answers 503 here when it should stop
+// receiving new submissions — its EDF queue is full, it is draining for
+// shutdown, or the durable store's circuit breaker is open (the server
+// keeps serving what it has, but a load balancer should prefer a
+// replica that can still persist acceptances).
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	depth, qcap := s.pool.Depth(), s.pool.Cap()
-	ready := depth < qcap
+	s.mu.Lock()
+	draining, degraded := s.draining, s.storeDegraded
+	s.mu.Unlock()
+	ready := depth < qcap && !draining && !degraded
 	w.Header().Set("Content-Type", "application/json")
 	if !ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
-	_ = json.NewEncoder(w).Encode(map[string]any{
+	doc := map[string]any{
 		"ready":       ready,
 		"queue_depth": depth,
 		"queue_cap":   qcap,
 		"workers":     s.cfg.Workers,
-	})
+	}
+	if draining {
+		doc["draining"] = true
+	}
+	if degraded {
+		doc["store_degraded"] = true
+	}
+	_ = json.NewEncoder(w).Encode(doc)
 }
 
 // publishJobLocked pushes one job lifecycle transition to the stream

@@ -53,6 +53,7 @@ import (
 	"github.com/vipsim/vip/internal/metrics"
 	"github.com/vipsim/vip/internal/parallel"
 	"github.com/vipsim/vip/internal/stats"
+	"github.com/vipsim/vip/internal/store"
 	"github.com/vipsim/vip/vip"
 )
 
@@ -101,6 +102,23 @@ type Config struct {
 	// production escape hatch for profiling a live service. Off by
 	// default: the profiles expose internals.
 	EnablePprof bool
+	// StoreDir, when set, enables the durable job store: every job
+	// lifecycle transition is persisted (length-prefixed, checksummed,
+	// fsynced WAL — see internal/store) before it is acknowledged, and
+	// boot replays the store, restoring finished jobs and re-enqueueing
+	// interrupted ones. Empty keeps today's memory-only job table.
+	StoreDir string
+	// RetryBase and RetryCap bound the exponential backoff applied when
+	// re-enqueueing interrupted jobs after a restart (defaults 1s and
+	// 1m); MaxAttempts bounds the total dispatch attempts per job
+	// (default 5) before it fails terminally instead of retrying
+	// forever through a crash loop.
+	RetryBase   time.Duration
+	RetryCap    time.Duration
+	MaxAttempts int
+	// WarnLog receives one structured JSON line per durability warning
+	// (store degradation, recovery summary). Defaults to os.Stderr.
+	WarnLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +145,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StreamInterval == 0 {
 		c.StreamInterval = time.Second
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = time.Second
+	}
+	if c.RetryCap <= 0 {
+		c.RetryCap = time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 5
 	}
 	return c
 }
@@ -163,12 +190,21 @@ type Job struct {
 	// identical in-flight run).
 	Cache string `json:"cache,omitempty"`
 	Error string `json:"error,omitempty"`
+	// Attempts counts recovery re-dispatches (zero on the normal path);
+	// Recovered marks a job restored or re-run from the durable store
+	// after a restart.
+	Attempts  int  `json:"attempts,omitempty"`
+	Recovered bool `json:"recovered,omitempty"`
 
-	report  []byte
-	done    chan struct{}
-	created time.Time
-	started time.Time // first worker dispatch (zero for cache fast path)
-	ended   time.Time // completion, whatever the outcome
+	report     []byte
+	reqJSON    []byte // original wire submission, for recovery re-lowering
+	canon      []byte // canonical scenario bytes pinned at acceptance
+	seq        uint64
+	completing bool // set by the (single) finalizer before done closes
+	done       chan struct{}
+	created    time.Time
+	started    time.Time // first worker dispatch (zero for cache fast path)
+	ended      time.Time // completion, whatever the outcome
 }
 
 // SimRequest is the wire form of a scenario submission. Every knob is
@@ -232,6 +268,12 @@ type Server struct {
 	pool  *parallel.Pool
 	hs    *metrics.HTTPServer
 
+	// store is the durable job store (nil without Config.StoreDir);
+	// storeOpenErr records a boot-time open failure (the server then
+	// runs degraded from the start).
+	store        *store.Store
+	storeOpenErr error
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []string // job ids, oldest first, for pruning
@@ -240,14 +282,24 @@ type Server struct {
 	reqSeq   uint64
 	depth    stats.Sample // queue depth observed at each admission
 
+	// Durability state (guarded by mu). draining rejects new
+	// submissions; storeDegraded is the open circuit breaker
+	// (consecutive store I/O failures → memory-only mode).
+	draining      bool
+	storeDegraded bool
+	storeErrs     int // consecutive store write failures
+
 	// Serve counters (guarded by mu; rendered at /metrics scrape).
-	shed      uint64
-	runs      uint64
-	coalesced uint64
-	syncReqs  uint64
-	asyncReqs uint64
-	failures  uint64
-	timeouts  uint64 // sync waits that hit their deadline (504)
+	shed         uint64
+	runs         uint64
+	coalesced    uint64
+	syncReqs     uint64
+	asyncReqs    uint64
+	failures     uint64
+	timeouts     uint64 // sync waits that hit their deadline (504)
+	storeWrites  uint64 // job records durably written
+	replayedJobs uint64 // job records restored at boot
+	retries      uint64 // recovery re-enqueues scheduled
 
 	accessMu sync.Mutex // serializes AccessLog writes
 
@@ -255,7 +307,11 @@ type Server struct {
 	ln  net.Listener
 }
 
-// New builds a server and starts its worker pool.
+// New builds a server and starts its worker pool. With Config.StoreDir
+// set it also opens the durable job store and replays it — restoring
+// finished job records and re-enqueueing interrupted jobs — before any
+// request can be admitted. A store that fails to open leaves the server
+// serving memory-only with the breaker open (see StoreOpenErr).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -270,6 +326,21 @@ func New(cfg Config) *Server {
 	// it the matching clock so late dispatches are counted.
 	s.pool.SetClock(func() int64 { return now().UnixNano() })
 	s.hs.OnScrape(s.promInstruments)
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, store.Options{})
+		if err != nil {
+			s.storeOpenErr = err
+			s.storeDegraded = true
+			s.warn("store_open_failed", map[string]any{
+				"dir":    cfg.StoreDir,
+				"error":  err.Error(),
+				"action": "serving memory-only; accepted jobs will not survive a restart",
+			})
+		} else {
+			s.store = st
+			s.recoverJobs()
+		}
+	}
 	return s
 }
 
@@ -303,13 +374,21 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener (if started) and drains the worker pool.
+// Close stops the listener (if started), drains the worker pool and
+// releases the job store. For a graceful shutdown call Drain first;
+// Close alone delivers still-queued tasks a cancelled context (their
+// terminal failed state is persisted) and then closes the store.
 func (s *Server) Close() error {
 	var err error
 	if s.srv != nil {
 		err = s.srv.Close()
 	}
 	s.pool.Close()
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -328,8 +407,10 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(map[string]any{
-		"error":     fmt.Sprintf(format, args...),
-		"retryable": code == http.StatusTooManyRequests || code == http.StatusGatewayTimeout,
+		"error": fmt.Sprintf(format, args...),
+		"retryable": code == http.StatusTooManyRequests ||
+			code == http.StatusGatewayTimeout ||
+			code == http.StatusServiceUnavailable,
 	})
 }
 
@@ -354,8 +435,33 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "invalid scenario: %v", err)
 		return
 	}
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		// Graceful shutdown in progress: admission is closed (and /ready
+		// already answers 503); a retry lands on a healthy peer.
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new submissions")
+		return
+	}
 	async := r.URL.Query().Get("async") != ""
 	key := cache.Key(hash, vip.EngineVersion)
+
+	// With the durable store enabled, pin what was accepted: the wire
+	// request (recovery re-lowers it) and the canonical scenario bytes
+	// (recovery verifies the re-lowering). Both ride on the job record.
+	var reqJSON, canon []byte
+	if s.store != nil {
+		if reqJSON, err = json.Marshal(req); err != nil {
+			httpError(w, http.StatusBadRequest, "re-encoding request: %v", err)
+			return
+		}
+		if canon, err = sc.Canonical(); err != nil {
+			httpError(w, http.StatusBadRequest, "canonicalizing scenario: %v", err)
+			return
+		}
+	}
 
 	deadline := s.cfg.SyncDeadline
 	if async {
@@ -380,7 +486,7 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 	cacheStart := now()
 	if body, ok := s.cache.Get(key); ok {
 		rs.AddStage("cache", now().Sub(cacheStart).Nanoseconds())
-		job := s.newJob(hash)
+		job := s.newJob(hash, reqJSON, canon)
 		s.completeJob(job, body, "hit", nil)
 		s.respond(w, r, job, async, body, "hit")
 		return
@@ -395,7 +501,10 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	} else {
 		s.mu.Unlock()
-		job = s.newJob(hash)
+		job = s.newJob(hash, reqJSON, canon)
+		// Durability barrier: the accepted job is on disk before it is
+		// queued or acknowledged, so a crash from here on cannot lose it.
+		s.persistJob(job)
 		s.mu.Lock()
 		s.inflight[key] = job
 		s.mu.Unlock()
@@ -509,10 +618,11 @@ func jobStatus(job *Job) string {
 }
 
 // newJob registers a fresh job record, pruning the oldest finished
-// records beyond the budget.
-func (s *Server) newJob(hash string) *Job {
+// records beyond the budget (pruned records also leave the store).
+// reqJSON and canon are the persisted acceptance artifacts; both are
+// nil when the durable store is disabled.
+func (s *Server) newJob(hash string, reqJSON, canon []byte) *Job {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.seq++
 	short := hash
 	if len(short) > 12 {
@@ -522,19 +632,28 @@ func (s *Server) newJob(hash string) *Job {
 		ID:      fmt.Sprintf("j%06d-%s", s.seq, short),
 		Hash:    hash,
 		Status:  StatusQueued,
+		seq:     s.seq,
+		reqJSON: reqJSON,
+		canon:   canon,
 		done:    make(chan struct{}),
 		created: now(),
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.publishJobLocked(job, StatusQueued)
+	var pruned []string
 	for len(s.order) > s.cfg.MaxJobs {
 		oldest := s.jobs[s.order[0]]
 		if oldest != nil && jobStatus(oldest) == StatusQueued || oldest != nil && jobStatus(oldest) == StatusRunning {
 			break // never prune live jobs
 		}
 		delete(s.jobs, s.order[0])
+		pruned = append(pruned, s.order[0])
 		s.order = s.order[1:]
+	}
+	s.mu.Unlock()
+	for _, id := range pruned {
+		s.dropJobRecord(id)
 	}
 	return job
 }
@@ -547,9 +666,14 @@ func (s *Server) runJob(ctx context.Context, job *Job, key string, sc vip.Scenar
 	job.started = now()
 	s.publishJobLocked(job, StatusRunning)
 	s.mu.Unlock()
+	s.persistJob(job) // a kill mid-run must replay as interrupted, not queued forever
 	defer func() {
 		s.mu.Lock()
-		delete(s.inflight, key)
+		// Identity-guarded: a recovered duplicate of the same scenario
+		// must not evict another job's in-flight registration.
+		if s.inflight[key] == job {
+			delete(s.inflight, key)
+		}
 		s.mu.Unlock()
 	}()
 
@@ -573,15 +697,17 @@ func (s *Server) runJob(ctx context.Context, job *Job, key string, sc vip.Scenar
 	s.completeJob(job, body, "miss", nil)
 }
 
-// completeJob finalizes a job exactly once.
+// completeJob finalizes a job exactly once. The terminal state is made
+// durable before the done channel releases waiters, so a response a
+// client observed can never be rolled back to "queued" by a crash —
+// without holding s.mu across the store's fsync.
 func (s *Server) completeJob(job *Job, body []byte, cacheState string, err error) {
 	s.mu.Lock()
-	select {
-	case <-job.done:
+	if job.completing {
 		s.mu.Unlock()
 		return
-	default:
 	}
+	job.completing = true
 	if err != nil {
 		job.Status = StatusFailed
 		job.Error = err.Error()
@@ -592,12 +718,18 @@ func (s *Server) completeJob(job *Job, body []byte, cacheState string, err error
 		job.report = body
 	}
 	job.ended = now()
+	s.mu.Unlock()
+	s.persistJob(job)
+	s.mu.Lock()
 	s.publishJobLocked(job, job.Status)
 	close(job.done)
 	s.mu.Unlock()
 }
 
 // handleJob reports one job's status, embedding the report when done.
+// Jobs restored from the durable store after a restart are annotated
+// (recovered, attempts) in both the document and the request span, and
+// their reports are re-attached lazily from the content-addressed cache.
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
@@ -608,6 +740,13 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.Lock()
+	if job.report == nil && job.Recovered && jobStatus(job) == StatusDone {
+		// Restored before the cache was warm (or the memory LRU turned
+		// over): the result is content-addressed, so fetch it now.
+		if body, ok := s.cache.Get(cache.Key(job.Hash, vip.EngineVersion)); ok {
+			job.report = body
+		}
+	}
 	doc := map[string]any{
 		"id":            job.ID,
 		"scenario_hash": job.Hash,
@@ -618,6 +757,15 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if job.Error != "" {
 		doc["error"] = job.Error
+	}
+	if job.Recovered {
+		doc["recovered"] = true
+		rs := reqSpanFrom(r.Context())
+		rs.Recovered = true
+		rs.Attempts = job.Attempts
+	}
+	if job.Attempts > 0 {
+		doc["attempts"] = job.Attempts
 	}
 	if job.report != nil {
 		doc["report"] = json.RawMessage(job.report)
@@ -639,9 +787,14 @@ func (s *Server) handleCacheStats(w http.ResponseWriter, r *http.Request) {
 // statsDoc snapshots the service counters; it backs both
 // /v1/cache/stats and the periodic /v1/sim/stream snapshots.
 func (s *Server) statsDoc() map[string]any {
+	var storeStats *store.Stats
+	if s.store != nil {
+		st := s.store.Stats()
+		storeStats = &st
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return map[string]any{
+	doc := map[string]any{
 		"cache":           s.cache.Stats(),
 		"engine_runs":     s.runs,
 		"shed":            s.shed,
@@ -658,6 +811,19 @@ func (s *Server) statsDoc() map[string]any {
 		"subscribers":     s.hs.Broker().Subscribers(),
 		"engine_version":  vip.EngineVersion,
 	}
+	if s.cfg.StoreDir != "" {
+		doc["store_degraded"] = s.storeDegraded
+		doc["store_writes"] = s.storeWrites
+		doc["replayed_jobs"] = s.replayedJobs
+		doc["job_retries"] = s.retries
+		if storeStats != nil {
+			doc["store"] = *storeStats
+		}
+	}
+	if s.draining {
+		doc["draining"] = true
+	}
+	return doc
 }
 
 // promInstruments renders the serve counters for the /metrics scrape:
@@ -668,6 +834,10 @@ func (s *Server) promInstruments() []byte {
 	hitRatio := 0.0
 	if lookups := cs.Hits + cs.Misses; lookups > 0 {
 		hitRatio = float64(cs.Hits) / float64(lookups)
+	}
+	var ss store.Stats
+	if s.store != nil {
+		ss = s.store.Stats()
 	}
 	s.mu.Lock()
 	vals := map[string]float64{
@@ -697,6 +867,26 @@ func (s *Server) promInstruments() []byte {
 		"serve.queue.depth_mean":    s.depth.Mean(),
 		"serve.stream.subscribers":  float64(s.hs.Broker().Subscribers()),
 		"serve.stream.dropped":      float64(s.hs.Broker().Dropped()),
+	}
+	if s.cfg.StoreDir != "" {
+		degraded := 0.0
+		if s.storeDegraded {
+			degraded = 1.0
+		}
+		draining := 0.0
+		if s.draining {
+			draining = 1.0
+		}
+		vals["serve.store.degraded"] = degraded
+		vals["serve.draining"] = draining
+		vals["serve.store.writes_total"] = float64(s.storeWrites)
+		vals["serve.store.replayed_jobs"] = float64(s.replayedJobs)
+		vals["serve.job_retries_total"] = float64(s.retries)
+		vals["serve.store.keys"] = float64(ss.Keys)
+		vals["serve.store.wal_bytes"] = float64(ss.WALBytes)
+		vals["serve.store.syncs_total"] = float64(ss.Syncs)
+		vals["serve.store.compactions_total"] = float64(ss.Compactions)
+		vals["serve.store.cache_corrupt_total"] = float64(cs.Corrupt)
 	}
 	s.mu.Unlock()
 	var b strings.Builder

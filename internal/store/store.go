@@ -1,0 +1,411 @@
+// Package store is a dependency-free, crash-safe embedded key-value
+// store: the durability layer under vipserve's async job table. It
+// exists so that a process kill — the serving-layer analogue of the
+// paper's injected IP faults — loses no accepted work: every mutation
+// is appended to a length-prefixed, CRC-checksummed write-ahead log and
+// fsynced before the call returns, so a job acknowledged to a client is
+// already on disk.
+//
+// The design is the classic snapshot + WAL pair, chosen over a page-
+// structured B-tree (the bolt lineage) because the working set — at
+// most a few thousand live job records — fits comfortably in memory:
+//
+//   - dir/wal is the append-only log of Put/Delete records;
+//   - dir/snapshot is a full checkpoint in the same record framing,
+//     replaced atomically (write temp, fsync, rename, fsync dir);
+//   - Open loads the snapshot, replays the WAL over it, and truncates
+//     the torn tail a crash may have left mid-record — CRC framing
+//     makes the clean prefix locally decidable (see wal.go);
+//   - when the WAL outgrows the live data, Put folds it into a fresh
+//     snapshot and resets the log (compaction), so the on-disk
+//     footprint tracks the live set rather than the write history.
+//
+// Every write path checks and propagates fsync/close errors (the
+// fsyncdiscipline viplint rule machine-checks this package): a store
+// that cannot persist reports it loudly, and the serving layer decides
+// whether to degrade to memory-only operation rather than crash.
+//
+// The store is safe for concurrent use. Like everything under
+// internal/, it is host-side service code — the deterministic engine
+// packages never touch it.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options tunes a store; the zero value is production-safe.
+type Options struct {
+	// NoSync disables fsync on the write path. Only tests and
+	// benchmarks should set it: a crash can then lose acknowledged
+	// writes, which defeats the store's reason to exist.
+	NoSync bool
+	// CompactBytes is the WAL size that triggers compaction on the next
+	// Put (default 4 MiB). Compaction also requires the log to be at
+	// least twice the live data size, so a store whose live set simply
+	// is that large does not churn snapshots.
+	CompactBytes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.CompactBytes <= 0 {
+		o.CompactBytes = 4 << 20
+	}
+	return o
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	Keys            int    `json:"keys"`             // live keys
+	WALBytes        int64  `json:"wal_bytes"`        // current log size
+	Writes          uint64 `json:"writes"`           // Put+Delete records appended
+	Syncs           uint64 `json:"syncs"`            // fsyncs issued on the log
+	Compactions     uint64 `json:"compactions"`      // snapshot + log resets
+	ReplayedRecords uint64 `json:"replayed_records"` // records applied by Open
+	TruncatedBytes  int64  `json:"truncated_bytes"`  // torn tail dropped by Open
+}
+
+// Store is the embedded key-value store. Construct with Open; the zero
+// value is unusable.
+type Store struct {
+	mu    sync.Mutex
+	dir   string
+	opts  Options
+	wal   *os.File
+	data  map[string][]byte
+	stats Stats
+}
+
+const (
+	walName  = "wal"
+	snapName = "snapshot"
+)
+
+// Open loads (or creates) the store rooted at dir: snapshot first, then
+// the WAL replayed over it, with any torn tail truncated away. The
+// returned store owns the open log file until Close.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts.withDefaults(),
+		data: make(map[string][]byte),
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.openWAL(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadSnapshot applies the checkpoint, if one exists. The snapshot is
+// replaced atomically, so a clean-prefix scan normally consumes it
+// whole; a short tail (from a crash on a filesystem that reordered the
+// rename) just means those records replay from the WAL or are lost with
+// the torn write that never committed.
+func (s *Store) loadSnapshot() error {
+	b, err := os.ReadFile(filepath.Join(s.dir, snapName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: reading snapshot: %w", err)
+	}
+	n, _ := ScanRecords(b, func(rec Record) error {
+		s.apply(rec)
+		return nil
+	})
+	s.stats.TruncatedBytes += int64(len(b) - n)
+	return nil
+}
+
+// openWAL replays the log over the snapshot state and truncates the
+// torn tail, leaving the file positioned for appends.
+func (s *Store) openWAL() error {
+	path := filepath.Join(s.dir, walName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening WAL: %w", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return errors.Join(fmt.Errorf("store: reading WAL: %w", err), f.Close())
+	}
+	clean, _ := ScanRecords(b, func(rec Record) error {
+		s.apply(rec)
+		return nil
+	})
+	if clean < len(b) {
+		if err := f.Truncate(int64(clean)); err != nil {
+			return errors.Join(fmt.Errorf("store: truncating torn WAL tail: %w", err), f.Close())
+		}
+		if err := s.syncFile(f); err != nil {
+			return errors.Join(err, f.Close())
+		}
+		s.stats.TruncatedBytes += int64(len(b) - clean)
+	}
+	if _, err := f.Seek(int64(clean), 0); err != nil {
+		return errors.Join(fmt.Errorf("store: seeking WAL end: %w", err), f.Close())
+	}
+	s.wal = f
+	s.stats.WALBytes = int64(clean)
+	return nil
+}
+
+// apply folds one verified record into the in-memory table, counting it
+// as replayed (Open is the only caller during load; live writes apply
+// records through append).
+func (s *Store) apply(rec Record) {
+	switch rec.Op {
+	case OpPut:
+		v := make([]byte, len(rec.Value))
+		copy(v, rec.Value)
+		s.data[rec.Key] = v
+	case OpDelete:
+		delete(s.data, rec.Key)
+	}
+	s.stats.ReplayedRecords++
+}
+
+// Get returns the value stored under key. The returned slice is the
+// store's copy and must be treated as immutable.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Len reports the number of live keys.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Put durably sets key to val: the record is appended to the WAL and
+// fsynced before the in-memory table (and the caller) observe it. A nil
+// error means the write is on disk (unless Options.NoSync).
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(Record{Op: OpPut, Key: key, Value: val}); err != nil {
+		return err
+	}
+	v := make([]byte, len(val))
+	copy(v, val)
+	s.data[key] = v
+	return s.maybeCompactLocked()
+}
+
+// Delete durably removes key. Deleting an absent key is a no-op that
+// still logs (idempotent on replay).
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(Record{Op: OpDelete, Key: key}); err != nil {
+		return err
+	}
+	delete(s.data, key)
+	return s.maybeCompactLocked()
+}
+
+// appendLocked frames rec, appends it and fsyncs. Caller holds mu.
+func (s *Store) appendLocked(rec Record) error {
+	if s.wal == nil {
+		return fmt.Errorf("store: closed")
+	}
+	frame := EncodeRecord(rec)
+	if _, err := s.wal.Write(frame); err != nil {
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	if err := s.syncFile(s.wal); err != nil {
+		return err
+	}
+	s.stats.Writes++
+	s.stats.WALBytes += int64(len(frame))
+	return nil
+}
+
+// syncFile fsyncs f unless the store runs NoSync.
+func (s *Store) syncFile(f *os.File) error {
+	if s.opts.NoSync {
+		return nil
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync %s: %w", f.Name(), err)
+	}
+	s.stats.Syncs++
+	return nil
+}
+
+// ForEach calls fn for every live pair in sorted key order (the
+// deterministic iteration the repo's maporder rule demands). fn must
+// not mutate the store; a non-nil error aborts the walk.
+func (s *Store) ForEach(fn func(key string, val []byte) error) error {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, Record{Key: k, Value: s.data[k]})
+	}
+	s.mu.Unlock()
+	for _, p := range pairs {
+		if err := fn(p.Key, p.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeCompactLocked folds the WAL into a fresh snapshot when the log
+// has outgrown both the configured threshold and the live data (so a
+// genuinely large live set does not churn). Caller holds mu.
+func (s *Store) maybeCompactLocked() error {
+	if s.stats.WALBytes < s.opts.CompactBytes {
+		return nil
+	}
+	live := int64(0)
+	for _, v := range s.data {
+		live += int64(len(v))
+	}
+	if s.stats.WALBytes < 2*live {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+// Compact forces a checkpoint: the live table is written to a fresh
+// snapshot (atomically replacing the old one) and the WAL is reset.
+// Drain paths call it so a clean shutdown restarts from a snapshot
+// instead of a long replay.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// compactLocked writes the snapshot and resets the log. Caller holds mu.
+func (s *Store) compactLocked() error {
+	if s.wal == nil {
+		return fmt.Errorf("store: closed")
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tmpPath := filepath.Join(s.dir, snapName+".tmp")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("store: creating snapshot temp: %w", err)
+	}
+	// discard abandons the half-written temp, folding cleanup failures
+	// into the primary error.
+	discard := func(primary error) error {
+		err := errors.Join(primary, tmp.Close())
+		if rerr := os.Remove(tmpPath); rerr != nil && !os.IsNotExist(rerr) {
+			err = errors.Join(err, rerr)
+		}
+		return err
+	}
+	for _, k := range keys {
+		if _, err := tmp.Write(EncodeRecord(Record{Op: OpPut, Key: k, Value: s.data[k]})); err != nil {
+			return discard(fmt.Errorf("store: writing snapshot: %w", err))
+		}
+	}
+	if err := s.syncFile(tmp); err != nil {
+		return discard(err)
+	}
+	if err := tmp.Close(); err != nil {
+		if rerr := os.Remove(tmpPath); rerr != nil && !os.IsNotExist(rerr) {
+			err = errors.Join(err, rerr)
+		}
+		return fmt.Errorf("store: closing snapshot temp: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, snapName)); err != nil {
+		if rerr := os.Remove(tmpPath); rerr != nil && !os.IsNotExist(rerr) {
+			err = errors.Join(err, rerr)
+		}
+		return fmt.Errorf("store: publishing snapshot: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		return err
+	}
+	// The snapshot now carries every live pair; the log restarts empty.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: resetting WAL: %w", err)
+	}
+	if _, err := s.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("store: rewinding WAL: %w", err)
+	}
+	if err := s.syncFile(s.wal); err != nil {
+		return err
+	}
+	s.stats.WALBytes = 0
+	s.stats.Compactions++
+	return nil
+}
+
+// syncDir fsyncs the store directory, making renames durable.
+func (s *Store) syncDir() error {
+	if s.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir for fsync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("store: fsync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: closing dir after fsync: %w", cerr)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Keys = len(s.data)
+	return st
+}
+
+// Close fsyncs and releases the log. The store is unusable afterwards;
+// subsequent mutations fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	serr := s.syncFile(s.wal)
+	cerr := s.wal.Close()
+	s.wal = nil
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: closing WAL: %w", cerr)
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// reopen closes s and opens the same directory again.
+func reopen(t *testing.T, s *Store, dir string) *Store {
+	t.Helper()
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopening: %v", err)
+	}
+	return s2
+}
+
+// TestPutGetReopen: the fundamental contract — what Put acknowledged,
+// Open returns after a restart.
+func TestPutGetReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("b", []byte("beta")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put("a", []byte("alpha2")); err != nil {
+		t.Fatalf("overwrite Put: %v", err)
+	}
+	if err := s.Delete("b"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+
+	s = reopen(t, s, dir)
+	defer s.Close()
+	if v, ok := s.Get("a"); !ok || string(v) != "alpha2" {
+		t.Errorf(`Get("a") = %q, %v; want "alpha2", true`, v, ok)
+	}
+	if _, ok := s.Get("b"); ok {
+		t.Error(`Get("b") survived its Delete`)
+	}
+	if got := s.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+	if st := s.Stats(); st.ReplayedRecords != 4 {
+		t.Errorf("ReplayedRecords = %d, want 4", st.ReplayedRecords)
+	}
+}
+
+// TestTornTailTruncated: a crash mid-append leaves a partial record;
+// Open must recover every complete record and truncate the tail, and
+// the store must keep accepting writes afterwards.
+func TestTornTailTruncated(t *testing.T) {
+	for _, cut := range []int{1, 3, 7, 9} { // inside header and inside payload
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if err := s.Put("keep", []byte("v1")); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+
+			// Simulate the torn write: append a prefix of a valid frame.
+			frame := EncodeRecord(Record{Op: OpPut, Key: "torn", Value: []byte("lost")})
+			walPath := filepath.Join(dir, walName)
+			f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				t.Fatalf("opening WAL: %v", err)
+			}
+			if _, err := f.Write(frame[:cut]); err != nil {
+				t.Fatalf("writing torn tail: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatalf("closing WAL: %v", err)
+			}
+
+			s, err = Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("reopening torn store: %v", err)
+			}
+			defer s.Close()
+			if _, ok := s.Get("keep"); !ok {
+				t.Error("complete record lost with the torn tail")
+			}
+			if _, ok := s.Get("torn"); ok {
+				t.Error("torn record replayed as if complete")
+			}
+			if st := s.Stats(); st.TruncatedBytes != int64(cut) {
+				t.Errorf("TruncatedBytes = %d, want %d", st.TruncatedBytes, cut)
+			}
+			// The file itself must be truncated so appends start clean.
+			if err := s.Put("after", []byte("v2")); err != nil {
+				t.Fatalf("Put after torn recovery: %v", err)
+			}
+			s = reopen(t, s, dir)
+			defer s.Close()
+			if _, ok := s.Get("after"); !ok {
+				t.Error("write after torn recovery lost on second reopen")
+			}
+		})
+	}
+}
+
+// TestCorruptTailTruncated: bit rot inside an already-written record
+// marks the clean truncation point; nothing after it replays.
+func TestCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Put("good", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	goodLen := s.Stats().WALBytes
+	if err := s.Put("bad", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Flip one payload byte of the second record.
+	walPath := filepath.Join(dir, walName)
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatalf("reading WAL: %v", err)
+	}
+	b[goodLen+frameHeader] ^= 0xff
+	if err := os.WriteFile(walPath, b, 0o644); err != nil {
+		t.Fatalf("rewriting WAL: %v", err)
+	}
+
+	s, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopening corrupt store: %v", err)
+	}
+	defer s.Close()
+	if _, ok := s.Get("good"); !ok {
+		t.Error("record before the corruption lost")
+	}
+	if _, ok := s.Get("bad"); ok {
+		t.Error("corrupt record replayed")
+	}
+	if st := s.Stats(); st.WALBytes != goodLen {
+		t.Errorf("WALBytes = %d, want %d (truncated at corruption)", st.WALBytes, goodLen)
+	}
+}
+
+// TestCompaction: once the log crosses the threshold it folds into a
+// snapshot, the WAL resets, and a reopen sees the same table.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{CompactBytes: 256})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 64; i++ {
+		if err := s.Put("k", bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compaction after %d overwrites (WAL %d bytes)", 64, st.WALBytes)
+	}
+	if st.WALBytes >= 256 {
+		t.Errorf("WALBytes = %d after compaction, want < threshold", st.WALBytes)
+	}
+	want, _ := s.Get("k")
+
+	s = reopen(t, s, dir)
+	defer s.Close()
+	if got, ok := s.Get("k"); !ok || !bytes.Equal(got, want) {
+		t.Errorf("post-compaction reopen: Get = %q, %v; want %q", got, ok, want)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestExplicitCompactAndForEach: Compact checkpoints on demand (the
+// drain path) and ForEach walks sorted.
+func TestExplicitCompactAndForEach(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer s.Close()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Put(k, []byte(k)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if got := s.Stats().WALBytes; got != 0 {
+		t.Errorf("WALBytes = %d after Compact, want 0", got)
+	}
+	var order []string
+	if err := s.ForEach(func(k string, v []byte) error {
+		order = append(order, k)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Errorf("ForEach order = %v, want %v", order, want)
+	}
+}
+
+// TestClosedStoreRejectsWrites: mutations after Close fail loudly
+// instead of silently dropping durability.
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Put("k", nil); err == nil {
+		t.Error("Put on a closed store succeeded")
+	}
+	if err := s.Delete("k"); err == nil {
+		t.Error("Delete on a closed store succeeded")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestReplayIdempotence is the satellite property test: replaying the
+// same log twice (two Opens of the same directory, no writes between)
+// yields the same job table, byte for byte — recovery is a pure
+// function of the on-disk state.
+func TestReplayIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("job/%02d", i%10)
+		if i%7 == 3 {
+			if err := s.Delete(k); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			continue
+		}
+		if err := s.Put(k, []byte(fmt.Sprintf("state-%d", i))); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	table := func() map[string]string {
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		defer s.Close()
+		m := make(map[string]string)
+		if err := s.ForEach(func(k string, v []byte) error {
+			m[k] = string(v)
+			return nil
+		}); err != nil {
+			t.Fatalf("ForEach: %v", err)
+		}
+		return m
+	}
+	first, second := table(), table()
+	if len(first) == 0 {
+		t.Fatal("replay produced an empty table")
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Errorf("replay is not idempotent:\nfirst  %v\nsecond %v", first, second)
+	}
+}
+
+// TestRecordRoundTrip pins the codec: encode → decode is identity and
+// consumes exactly the frame.
+func TestRecordRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Op: OpPut, Key: "", Value: nil},
+		{Op: OpPut, Key: "k", Value: []byte("v")},
+		{Op: OpDelete, Key: "job/j000001-abc", Value: nil},
+		{Op: OpPut, Key: "big", Value: bytes.Repeat([]byte("x"), 4096)},
+	}
+	var log []byte
+	for _, r := range recs {
+		log = append(log, EncodeRecord(r)...)
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := DecodeRecord(log[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.Op != want.Op || got.Key != want.Key || !bytes.Equal(got.Value, want.Value) {
+			t.Errorf("record %d round-trip mismatch: %+v != %+v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(log) {
+		t.Errorf("decoded %d of %d log bytes", off, len(log))
+	}
+}

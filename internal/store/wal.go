@@ -1,0 +1,130 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The WAL record codec. Every mutation — in the live log and in
+// snapshot files, which reuse the same framing — is one self-checking
+// record:
+//
+//	uint32  payload length (little-endian)
+//	uint32  CRC-32 (IEEE) of the payload
+//	payload op byte, uvarint key length, key bytes, value bytes
+//
+// The frame is what makes crash recovery a local decision: a reader
+// scanning from the front can classify every byte position as either
+// "inside a fully verified record" or "in the torn tail", with no
+// global index to consult. A record whose length field survived a crash
+// but whose payload did not fails the CRC; a record cut mid-frame fails
+// the length check. Both mark the clean truncation point.
+
+// Ops a record can carry.
+const (
+	// OpPut sets Key to Value.
+	OpPut byte = 1
+	// OpDelete removes Key (Value is empty).
+	OpDelete byte = 2
+)
+
+// frameHeader is the fixed prefix of every record: length + CRC.
+const frameHeader = 8
+
+// maxPayload bounds a single record; anything larger is corruption by
+// definition (the store's values are job-record documents, not blobs).
+const maxPayload = 64 << 20
+
+// ErrCorrupt reports a record that is structurally present but fails
+// verification: CRC mismatch, malformed payload, unknown op, or an
+// implausible length. Replay treats it as the start of the torn tail.
+var ErrCorrupt = errors.New("store: corrupt WAL record")
+
+// ErrTruncated reports a record cut short by a crash: the buffer ends
+// inside the frame header or inside the declared payload. Replay treats
+// it as the start of the torn tail.
+var ErrTruncated = errors.New("store: truncated WAL record")
+
+// Record is one decoded WAL mutation.
+type Record struct {
+	Op    byte
+	Key   string
+	Value []byte
+}
+
+// EncodeRecord frames rec: header, CRC, op, key, value.
+func EncodeRecord(rec Record) []byte {
+	payload := make([]byte, 0, 1+binary.MaxVarintLen64+len(rec.Key)+len(rec.Value))
+	payload = append(payload, rec.Op)
+	payload = binary.AppendUvarint(payload, uint64(len(rec.Key)))
+	payload = append(payload, rec.Key...)
+	payload = append(payload, rec.Value...)
+
+	out := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeader:], payload)
+	return out
+}
+
+// DecodeRecord decodes one framed record from the front of b, returning
+// the record and the number of bytes consumed. It never panics on
+// arbitrary input: malformed bytes yield ErrCorrupt, and a buffer that
+// ends mid-record yields ErrTruncated. The returned Value aliases b.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, ErrTruncated
+	}
+	n := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	if n == 0 || n > maxPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, n)
+	}
+	if uint64(len(b)-frameHeader) < uint64(n) {
+		return Record{}, 0, ErrTruncated
+	}
+	payload := b[frameHeader : frameHeader+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	op := payload[0]
+	if op != OpPut && op != OpDelete {
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+	}
+	klen, kn := binary.Uvarint(payload[1:])
+	if kn <= 0 || klen > uint64(len(payload)-1-kn) {
+		return Record{}, 0, fmt.Errorf("%w: key length %d exceeds payload", ErrCorrupt, klen)
+	}
+	rest := payload[1+kn:]
+	return Record{
+		Op:    op,
+		Key:   string(rest[:klen]),
+		Value: rest[klen:],
+	}, frameHeader + int(n), nil
+}
+
+// ScanRecords decodes records from the front of b, calling fn for each
+// verified record, and returns the clean prefix length: the offset of
+// the first byte that is not part of a fully verified record. A
+// truncated or corrupt tail is the expected signature of a crash, so it
+// is not an error — the caller truncates the log there. A non-nil error
+// from fn aborts the scan and is returned with the offset of the record
+// that produced it.
+func ScanRecords(b []byte, fn func(Record) error) (int, error) {
+	off := 0
+	for off < len(b) {
+		rec, n, err := DecodeRecord(b[off:])
+		if err != nil {
+			return off, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return off, err
+			}
+		}
+		off += n
+	}
+	return off, nil
+}

@@ -21,14 +21,21 @@ type ReqStage struct {
 
 // RequestSpan is the wall-clock span of one request.
 type RequestSpan struct {
-	ID     string     `json:"id"`
-	Method string     `json:"method"`
-	Path   string     `json:"path"`
-	Status int        `json:"status"`
-	Hash   string     `json:"hash,omitempty"`
-	Cache  string     `json:"cache,omitempty"` // "hit", "miss", "coalesced", ""
-	Async  bool       `json:"async,omitempty"`
-	Stages []ReqStage `json:"stages,omitempty"`
+	ID     string `json:"id"`
+	Method string `json:"method"`
+	Path   string `json:"path"`
+	Status int    `json:"status"`
+	Hash   string `json:"hash,omitempty"`
+	Cache  string `json:"cache,omitempty"` // "hit", "miss", "coalesced", ""
+	Async  bool   `json:"async,omitempty"`
+	// Recovered marks a request that touched a job restored or re-run
+	// from the durable job store after a restart; Attempts is that
+	// job's lifetime dispatch count (>1 means the run was interrupted
+	// and retried). Both stay zero-valued on the normal path, so the
+	// access-log line is unchanged for servers without a store.
+	Recovered bool       `json:"recovered,omitempty"`
+	Attempts  int        `json:"attempts,omitempty"`
+	Stages    []ReqStage `json:"stages,omitempty"`
 	// TotalNS covers first byte read to last byte written.
 	TotalNS int64 `json:"total_ns"`
 }
