@@ -10,25 +10,74 @@
 //	go run ./cmd/viplint ./internal/sim # lint one package
 //	go run ./cmd/viplint -rules         # list the rules
 //	go run ./cmd/viplint -run maporder,simloop ./...
+//	go run ./cmd/viplint -json ./...    # machine-readable findings for CI
 //	go run ./cmd/viplint -md .          # check markdown links/anchors instead
 //
 // viplint exits 1 when any diagnostic survives; silence intentional
 // violations in place with a justified directive:
 //
 //	t := time.Now() //viplint:allow simdeterminism -- host profiling only
+//
+// Directives that suppress nothing are reported as warnings (and listed
+// under unused_allows in -json output) so the allowlist cannot rot.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"github.com/vipsim/vip/internal/analysis"
 )
 
+// jsonFinding is one diagnostic in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -json document: findings plus stale allow
+// directives, both in stable (file, line, col, rule) order.
+type jsonReport struct {
+	Findings     []jsonFinding `json:"findings"`
+	UnusedAllows []jsonFinding `json:"unused_allows"`
+}
+
+// relPath renders path relative to base when possible, so -json output
+// is stable across checkouts.
+func relPath(base, path string) string {
+	if rel, err := filepath.Rel(base, path); err == nil && !filepath.IsAbs(rel) {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}
+
+func sortFindings(fs []jsonFinding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+}
+
 func main() {
 	listRules := flag.Bool("rules", false, "list the analyzers and exit")
 	run := flag.String("run", "", "comma-separated subset of rules to run (default: all)")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON document (stable ordering) instead of text")
 	md := flag.String("md", "", "check intra-repo markdown links/anchors under this directory instead of linting Go")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: viplint [flags] [packages]\n")
@@ -80,20 +129,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	found := 0
+	report := jsonReport{Findings: []jsonFinding{}, UnusedAllows: []jsonFinding{}}
 	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		diags, unused, err := analysis.RunAnalyzers(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "viplint:", err)
 			os.Exit(2)
 		}
 		for _, d := range diags {
-			fmt.Printf("%s: [%s] %s\n", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
-			found++
+			pos := pkg.Fset.Position(d.Pos)
+			report.Findings = append(report.Findings, jsonFinding{
+				File: relPath(cwd, pos.Filename), Line: pos.Line, Col: pos.Column,
+				Rule: d.Rule, Message: d.Message,
+			})
+		}
+		for _, u := range unused {
+			pos := pkg.Fset.Position(u.Pos)
+			report.UnusedAllows = append(report.UnusedAllows, jsonFinding{
+				File: relPath(cwd, pos.Filename), Line: pos.Line, Col: pos.Column,
+				Rule: u.Rule, Message: "//viplint:allow " + u.Rule + " suppresses nothing",
+			})
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "viplint: %d issue(s)\n", found)
+	sortFindings(report.Findings)
+	sortFindings(report.UnusedAllows)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "viplint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range report.Findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+		}
+		// Stale allows are warnings, not failures: they must not turn a
+		// clean tree red, but they should nag until deleted.
+		for _, u := range report.UnusedAllows {
+			fmt.Fprintf(os.Stderr, "viplint: warning: %s:%d:%d: %s\n", u.File, u.Line, u.Col, u.Message)
+		}
+	}
+	if n := len(report.Findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "viplint: %d issue(s)\n", n)
 		os.Exit(1)
 	}
 }

@@ -119,6 +119,22 @@ func matchSimPackages(pkgPath string) bool {
 	return matchesModule(pkgPath, simPackages)
 }
 
+// concPackages are the long-lived, goroutine- and lock-bearing packages
+// where the flow-sensitive concurrency rules apply: the serving stack
+// and its storage, the worker pool, the disk cache, and the metrics
+// exporter. The engine packages are deliberately excluded — they are
+// single-threaded by construction and simdeterminism already bans
+// spawning goroutines there.
+var concPackages = []string{
+	"internal/serve", "internal/store", "internal/parallel",
+	"internal/cache", "internal/metrics",
+}
+
+// matchConcPackages scopes a rule to the concurrency-bearing packages.
+func matchConcPackages(pkgPath string) bool {
+	return matchesModule(pkgPath, concPackages)
+}
+
 // matchNonMain scopes a rule to library packages: everything in the
 // module except the cmd/ binaries and examples/, which legitimately talk
 // to the host (flags, stdout, wall clock around a whole run).
@@ -141,6 +157,10 @@ func All() []*Analyzer {
 		FsyncDiscipline,
 		SimLoop,
 		PkgDoc,
+		LockDiscipline,
+		GoroLeak,
+		AtomicMix,
+		DeferInLoop,
 	}
 }
 
@@ -168,16 +188,29 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// UnusedAllow is a //viplint:allow directive that suppressed no
+// diagnostic of the named rule in a run that included the rule: dead
+// weight that lets the allowlist rot (or a typo hiding a real
+// intention).
+type UnusedAllow struct {
+	Pos  token.Pos
+	Rule string
+}
+
 // RunAnalyzers applies every matching analyzer to pkg and returns the
 // surviving diagnostics, sorted by position: findings on lines carrying
 // (or directly below) a //viplint:allow directive naming the rule are
-// suppressed.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// suppressed. The second result lists the allow directives that
+// suppressed nothing (considering only rules in this run's set, so a
+// -run subset never flags allows for rules it didn't execute).
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []UnusedAllow, error) {
 	var diags []Diagnostic
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		if a.Match != nil && !a.Match(pkg.Path) {
 			continue
 		}
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     pkg.Fset,
@@ -187,17 +220,17 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			diags:    &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
-	diags = suppressAllowed(pkg, diags)
+	diags, unused := suppressAllowed(pkg, diags, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos
 		}
 		return diags[i].Rule < diags[j].Rule
 	})
-	return diags, nil
+	return diags, unused, nil
 }
 
 // allowDirective parses one comment's //viplint:allow payload into the
@@ -224,11 +257,20 @@ func allowDirective(text string) []string {
 	return rules
 }
 
+// allowEntry is one rule named by one directive, with its use tracked.
+type allowEntry struct {
+	rule string
+	pos  token.Pos
+	used bool
+}
+
 // suppressAllowed drops diagnostics covered by an allow directive on the
-// same line or the line immediately above.
-func suppressAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
-	// file -> line -> rules allowed there.
-	allowed := make(map[string]map[int][]string)
+// same line or the line immediately above, and reports the directives
+// (restricted to rules in ran) that covered nothing.
+func suppressAllowed(pkg *Package, diags []Diagnostic, ran map[string]bool) ([]Diagnostic, []UnusedAllow) {
+	// file -> line -> entries declared there.
+	allowed := make(map[string]map[int][]*allowEntry)
+	var entries []*allowEntry
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -239,35 +281,56 @@ func suppressAllowed(pkg *Package, diags []Diagnostic) []Diagnostic {
 				pos := pkg.Fset.Position(c.Pos())
 				m := allowed[pos.Filename]
 				if m == nil {
-					m = make(map[int][]string)
+					m = make(map[int][]*allowEntry)
 					allowed[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], rules...)
+				for _, r := range rules {
+					e := &allowEntry{rule: r, pos: c.Pos()}
+					m[pos.Line] = append(m[pos.Line], e)
+					entries = append(entries, e)
+				}
 			}
 		}
 	}
 	if len(allowed) == 0 {
-		return diags
+		return diags, nil
 	}
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
 		lines := allowed[pos.Filename]
-		if containsRule(lines[pos.Line], d.Rule) || containsRule(lines[pos.Line-1], d.Rule) {
+		if markAllowed(lines[pos.Line], d.Rule) || markAllowed(lines[pos.Line-1], d.Rule) {
 			continue
 		}
 		kept = append(kept, d)
 	}
-	return kept
-}
-
-func containsRule(rules []string, rule string) bool {
-	for _, r := range rules {
-		if r == rule {
-			return true
+	var unused []UnusedAllow
+	for _, e := range entries {
+		if !e.used && ran[e.rule] {
+			unused = append(unused, UnusedAllow{Pos: e.pos, Rule: e.rule})
 		}
 	}
-	return false
+	sort.Slice(unused, func(i, j int) bool {
+		if unused[i].Pos != unused[j].Pos {
+			return unused[i].Pos < unused[j].Pos
+		}
+		return unused[i].Rule < unused[j].Rule
+	})
+	return kept, unused
+}
+
+// markAllowed reports whether entries allow rule, marking every
+// matching entry used (a directive naming the rule twice, or two
+// directives on adjacent lines, are all "doing something").
+func markAllowed(entries []*allowEntry, rule string) bool {
+	found := false
+	for _, e := range entries {
+		if e.rule == rule {
+			e.used = true
+			found = true
+		}
+	}
+	return found
 }
 
 // calleeFunc resolves the *types.Func a call expression invokes (nil for

@@ -92,12 +92,17 @@ func TestModuleIsClean(t *testing.T) {
 		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
 	}
 	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, All())
+		diags, unused, err := RunAnalyzers(pkg, All())
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, d := range diags {
 			t.Errorf("%s: [%s] %s", pkg.Fset.Position(d.Pos), d.Rule, d.Message)
+		}
+		// Allow directives that no longer suppress anything must be
+		// deleted, not accumulated.
+		for _, u := range unused {
+			t.Errorf("%s: //viplint:allow %s suppresses nothing", pkg.Fset.Position(u.Pos), u.Rule)
 		}
 	}
 }

@@ -32,9 +32,14 @@ func RunFixture(t testing.TB, a *Analyzer, dir string) {
 	if pkg == nil {
 		t.Fatalf("fixture %s has no Go files", dir)
 	}
-	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	diags, unused, err := RunAnalyzers(pkg, []*Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	// A fixture's allow directives must each suppress something: a stale
+	// one means the escape-hatch case stopped exercising the rule.
+	for _, u := range unused {
+		t.Errorf("%s: //viplint:allow %s suppresses nothing", pkg.Fset.Position(u.Pos), u.Rule)
 	}
 
 	wants := make(map[fileLine][]*regexp.Regexp)

@@ -45,3 +45,19 @@ func TestPkgDoc(t *testing.T) {
 	RunFixture(t, PkgDoc, fixture("pkgdoc"))
 	RunFixture(t, PkgDoc, fixture("pkgdoc_missing"))
 }
+
+func TestLockDiscipline(t *testing.T) {
+	RunFixture(t, LockDiscipline, fixture("lockdiscipline"))
+}
+
+func TestGoroLeak(t *testing.T) {
+	RunFixture(t, GoroLeak, fixture("goroleak"))
+}
+
+func TestAtomicMix(t *testing.T) {
+	RunFixture(t, AtomicMix, fixture("atomicmix"))
+}
+
+func TestDeferInLoop(t *testing.T) {
+	RunFixture(t, DeferInLoop, fixture("deferinloop"))
+}

@@ -1,0 +1,117 @@
+package analysis
+
+// atomicmix enforces all-or-nothing atomicity per field: once any code
+// in a package touches a variable through sync/atomic, every other
+// access in the package must be atomic too. A plain load next to
+// atomic.AddUint64 is not "mostly fine" — it is a data race the race
+// detector only catches when the interleaving happens under test, and
+// on 32-bit handheld targets a plain 64-bit read can tear outright.
+// The typed atomics (atomic.Int64 & friends) make mixing impossible by
+// construction and are the preferred fix; this rule exists for the
+// pointer-style API, where the compiler offers no such guarantee.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix reports plain accesses to fields that are accessed via
+// sync/atomic elsewhere in the same package.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc: "a variable accessed through sync/atomic anywhere in a package " +
+		"must never be read or written plainly elsewhere in it",
+	Run: runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) error {
+	// Pass 1: collect the variables used as &v arguments to sync/atomic
+	// calls, and mark the identifiers inside those arguments as
+	// atomic-side uses.
+	atomicVars := map[*types.Var]token.Pos{} // var -> first atomic use
+	atomicUse := map[*ast.Ident]bool{}       // idents consumed by atomic calls
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				id, v := resolvedVar(pass.Info, u.X)
+				if v == nil {
+					continue
+				}
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+				}
+				atomicUse[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other identifier resolving to one of those variables
+	// is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || atomicUse[id] {
+				return true
+			}
+			v, ok := pass.Info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			pos, tracked := atomicVars[v]
+			if !tracked {
+				return true
+			}
+			pass.Reportf(id.Pos(), "plain access to %s, which is accessed via sync/atomic at %s; every access must be atomic (or migrate to the typed atomics)",
+				id.Name, pass.Fset.Position(pos))
+			return true
+		})
+	}
+	return nil
+}
+
+// resolvedVar resolves the variable behind an addressable expression
+// (ident or selector chain), returning the final identifier and its
+// object. Index expressions and calls are not trackable.
+func resolvedVar(info *types.Info, e ast.Expr) (*ast.Ident, *types.Var) {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		v, _ = info.Defs[id].(*types.Var)
+	}
+	// Only struct fields and package-level variables are shared state
+	// worth tracking; a local is visible to the race detector trivially
+	// and usually a deliberate snapshot.
+	if v == nil || (!v.IsField() && !isPkgLevel(v)) {
+		return nil, nil
+	}
+	return id, v
+}
+
+func isPkgLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

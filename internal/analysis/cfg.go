@@ -1,0 +1,543 @@
+package analysis
+
+// Control-flow graph construction: the flow-sensitive half of the
+// analyzer suite. The syntactic rules (maporder, simloop, …) pattern-
+// match single AST nodes; the concurrency rules (lockdiscipline,
+// goroleak) need to reason about *paths* — is this mutex released on
+// every way out of the function, is this send reachable while a lock is
+// held — and paths require a CFG.
+//
+// The builder mirrors golang.org/x/tools/go/cfg in spirit but is
+// stdlib-only like the rest of the package. One CFG is built per
+// function body (FuncDecl or FuncLit); blocks hold statement and
+// condition nodes in execution order, edges follow every construct the
+// repo uses: if/else with short-circuit && and || in conditions, for
+// and range loops, switch/type-switch with fallthrough, select
+// (including the default clause), labeled break/continue, goto, and
+// panic (an edge straight to exit). Defers are not edges — which defers
+// have been pushed is a path property — so DeferStmt nodes stay in
+// their blocks (for flow-sensitive tracking by the dataflow rules) and
+// are additionally recorded in CFG.Defers in push order for LIFO
+// reasoning and the golden dumps.
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Block is one basic block: a maximal straight-line sequence of nodes
+// with branching only at the end.
+type Block struct {
+	ID int
+	// Kind names what created the block ("entry", "if.then",
+	// "for.head", "select.case", …) for dumps and debugging.
+	Kind string
+	// Nodes are the statements and branch conditions executed in this
+	// block, in order. Condition expressions of if/for and the operands
+	// of short-circuit && / || appear as bare ast.Expr nodes.
+	Nodes []ast.Node
+	// Succs are the possible successors in execution order (then before
+	// else, case order preserved).
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks in creation order; Blocks[0] is Entry, Blocks[1] is Exit.
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers records every defer statement in push (source-execution)
+	// order; they run in reverse order at function exit.
+	Defers []*ast.DeferStmt
+}
+
+// NewCFG builds the control-flow graph of one function body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	c := &CFG{}
+	b := &cfgBuilder{cfg: c, labels: map[string]*labelBlocks{}}
+	c.Entry = b.newBlock("entry")
+	c.Exit = b.newBlock("exit")
+	first := b.newBlock("body")
+	c.Entry.Succs = append(c.Entry.Succs, first)
+	b.cur = first
+	b.stmtList(body.List)
+	// Falling off the end of the body returns.
+	b.jumpTo(c.Exit)
+	return c
+}
+
+// labelBlocks carries the jump targets a label can name.
+type labelBlocks struct {
+	// gotoBlk is the block a goto to this label lands in (the labeled
+	// statement itself), created lazily for forward gotos.
+	gotoBlk *Block
+	// breakBlk / continueBlk are set while the labeled loop or switch
+	// is being built.
+	breakBlk    *Block
+	continueBlk *Block
+}
+
+// branchTargets is the stack entry for enclosing breakable/continuable
+// statements.
+type branchTargets struct {
+	breakBlk    *Block // innermost for/range/switch/select
+	continueBlk *Block // innermost for/range only (nil otherwise)
+}
+
+type cfgBuilder struct {
+	cfg     *CFG
+	cur     *Block // nil while the current point is unreachable
+	targets []branchTargets
+	labels  map[string]*labelBlocks
+	// pendingLabel, when set, names the statement about to be built so
+	// its loop/switch registers labeled break/continue targets.
+	pendingLabel string
+	// fallthroughTo is the next case-clause body while a switch clause
+	// is being built.
+	fallthroughTo *Block
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{ID: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// ensure returns the current block, starting an unreachable one if
+// control cannot reach this point (dead code still gets nodes recorded).
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) { b.ensure().Nodes = append(b.ensure().Nodes, n) }
+
+// jumpTo wires the current block to dst and marks the point unreachable.
+func (b *cfgBuilder) jumpTo(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+	b.cur = nil
+}
+
+// edge adds cur→dst without ending the block's construction.
+func (b *cfgBuilder) edge(dst *Block) {
+	if b.cur != nil {
+		b.cur.Succs = append(b.cur.Succs, dst)
+	}
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jumpTo(b.cfg.Exit)
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jumpTo(b.cfg.Exit)
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		then := b.newBlock("if.then")
+		done := b.newBlock("if.done")
+		els := done
+		if s.Else != nil {
+			els = b.newBlock("if.else")
+		}
+		b.cond(s.Cond, then, els)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jumpTo(done)
+		if s.Else != nil {
+			b.cur = els
+			b.stmt(s.Else)
+			b.jumpTo(done)
+		}
+		b.cur = done
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		done := b.newBlock("for.done")
+		post := head
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+		}
+		b.jumpTo(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.cond(s.Cond, body, done)
+		} else {
+			b.jumpTo(body)
+		}
+		b.pushTargets(label, done, post)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jumpTo(post)
+		if s.Post != nil {
+			b.cur = post
+			b.add(s.Post)
+			b.jumpTo(head)
+		}
+		b.popTargets()
+		b.cur = done
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		done := b.newBlock("range.done")
+		b.jumpTo(head)
+		head.Nodes = append(head.Nodes, s)
+		head.Succs = append(head.Succs, body, done)
+		b.pushTargets(label, done, head)
+		b.cur = body
+		b.stmt(s.Body)
+		b.jumpTo(head)
+		b.popTargets()
+		b.cur = done
+
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, "switch")
+
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, "typeswitch")
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		b.add(s)
+		done := b.newBlock("select.done")
+		src := b.cur
+		b.pushTargets(label, done, nil)
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			kind := "select.case"
+			if comm.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			if src != nil {
+				src.Succs = append(src.Succs, blk)
+			}
+			b.cur = blk
+			if comm.Comm != nil {
+				b.add(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jumpTo(done)
+		}
+		b.popTargets()
+		b.cur = done
+
+	case *ast.BranchStmt:
+		b.add(s)
+		switch s.Tok {
+		case token.BREAK:
+			if dst := b.breakTarget(s.Label); dst != nil {
+				b.jumpTo(dst)
+			} else {
+				b.cur = nil
+			}
+		case token.CONTINUE:
+			if dst := b.continueTarget(s.Label); dst != nil {
+				b.jumpTo(dst)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.jumpTo(b.labelFor(s.Label.Name).gotoBlk)
+		case token.FALLTHROUGH:
+			if b.fallthroughTo != nil {
+				b.jumpTo(b.fallthroughTo)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.LabeledStmt:
+		lb := b.labelFor(s.Label.Name)
+		b.jumpTo(lb.gotoBlk)
+		b.cur = lb.gotoBlk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.AssignStmt,
+		*ast.DeclStmt, *ast.EmptyStmt:
+		b.add(s)
+
+	default:
+		if s != nil {
+			b.add(s)
+		}
+	}
+}
+
+// switchStmt builds expression and type switches: every clause gets its
+// own block reachable from the dispatch point; a missing default adds a
+// direct dispatch→done edge; fallthrough chains clause bodies.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, kind string) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	done := b.newBlock(kind + ".done")
+	src := b.ensure()
+	b.cur = nil
+	b.pushTargets(label, done, nil)
+
+	clauses := body.List
+	blks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		k := kind + ".case"
+		if cc.List == nil {
+			k = kind + ".default"
+			hasDefault = true
+		}
+		blks[i] = b.newBlock(k)
+		src.Succs = append(src.Succs, blks[i])
+	}
+	if !hasDefault {
+		src.Succs = append(src.Succs, done)
+	}
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		b.cur = blks[i]
+		if i+1 < len(blks) {
+			b.fallthroughTo = blks[i+1]
+		} else {
+			b.fallthroughTo = nil
+		}
+		b.stmtList(cc.Body)
+		b.fallthroughTo = nil
+		b.jumpTo(done)
+	}
+	b.popTargets()
+	b.cur = done
+}
+
+// cond builds the short-circuit CFG of a branch condition: operands of
+// && and || become their own evaluation blocks so a Lock() hidden in
+// the right operand is only on the paths that evaluate it.
+func (b *cfgBuilder) cond(e ast.Expr, t, f *Block) {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		b.cond(e.X, t, f)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			b.cond(e.X, f, t)
+			return
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			rhs := b.newBlock("cond.and")
+			b.cond(e.X, rhs, f)
+			b.cur = rhs
+			b.cond(e.Y, t, f)
+			return
+		case token.LOR:
+			rhs := b.newBlock("cond.or")
+			b.cond(e.X, t, rhs)
+			b.cur = rhs
+			b.cond(e.Y, t, f)
+			return
+		}
+	}
+	b.add(e)
+	b.edge(t)
+	b.edge(f)
+	b.cur = nil
+}
+
+func (b *cfgBuilder) labelFor(name string) *labelBlocks {
+	lb := b.labels[name]
+	if lb == nil {
+		lb = &labelBlocks{gotoBlk: b.newBlock("label." + name)}
+		b.labels[name] = lb
+	}
+	return lb
+}
+
+// takeLabel consumes the pending label of the statement being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) pushTargets(label string, brk, cont *Block) {
+	b.targets = append(b.targets, branchTargets{breakBlk: brk, continueBlk: cont})
+	if label != "" {
+		lb := b.labelFor(label)
+		lb.breakBlk = brk
+		lb.continueBlk = cont
+	}
+}
+
+func (b *cfgBuilder) popTargets() { b.targets = b.targets[:len(b.targets)-1] }
+
+func (b *cfgBuilder) breakTarget(label *ast.Ident) *Block {
+	if label != nil {
+		return b.labelFor(label.Name).breakBlk
+	}
+	if len(b.targets) == 0 {
+		return nil
+	}
+	return b.targets[len(b.targets)-1].breakBlk
+}
+
+func (b *cfgBuilder) continueTarget(label *ast.Ident) *Block {
+	if label != nil {
+		return b.labelFor(label.Name).continueBlk
+	}
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		if b.targets[i].continueBlk != nil {
+			return b.targets[i].continueBlk
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether e is a direct call to the panic builtin.
+// Type information is not needed: a local function shadowing panic would
+// only make the CFG conservative (an extra exit edge).
+func isPanicCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// Dump renders the CFG in a stable one-line-per-block text form for the
+// golden tests: block id, kind, node summaries, successor ids, then the
+// LIFO defer list.
+func (c *CFG) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", blk.ID, blk.Kind)
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&sb, " {%s}", nodeText(fset, n))
+		}
+		if len(blk.Succs) > 0 {
+			ids := make([]string, len(blk.Succs))
+			for i, s := range blk.Succs {
+				ids[i] = fmt.Sprintf("b%d", s.ID)
+			}
+			fmt.Fprintf(&sb, " -> %s", strings.Join(ids, " "))
+		}
+		sb.WriteByte('\n')
+	}
+	if len(c.Defers) > 0 {
+		names := make([]string, 0, len(c.Defers))
+		for i := len(c.Defers) - 1; i >= 0; i-- {
+			names = append(names, nodeText(fset, c.Defers[i].Call))
+		}
+		fmt.Fprintf(&sb, "defers (LIFO): %s\n", strings.Join(names, ", "))
+	}
+	return sb.String()
+}
+
+// nodeText renders one node as compact single-line source.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	s := strings.Join(strings.Fields(buf.String()), " ")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
+// Reachable returns the set of blocks reachable from entry.
+func (c *CFG) Reachable() map[*Block]bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(c.Entry)
+	return seen
+}
+
+// funcBodies yields every function body in the pass's files — named
+// declarations and function literals alike — paired with a stable
+// description for diagnostics, sorted by position. Literals are yielded
+// as their own functions: a closure's locks and channels are its own
+// flow problem, not its enclosing function's.
+func funcBodies(files []*ast.File) []funcBody {
+	var out []funcBody
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, funcBody{name: n.Name.Name, decl: n, body: n.Body})
+				}
+			case *ast.FuncLit:
+				out = append(out, funcBody{name: "func literal", lit: n, body: n.Body})
+			}
+			return true
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].body.Pos() < out[j].body.Pos() })
+	return out
+}
+
+// funcBody is one analyzable function: a declaration or a literal.
+type funcBody struct {
+	name string
+	decl *ast.FuncDecl
+	lit  *ast.FuncLit
+	body *ast.BlockStmt
+}

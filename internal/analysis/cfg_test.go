@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses one function declaration and builds its CFG.
+func buildCFG(t *testing.T, fn string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test_input.go", "package p\n"+fn, 0)
+	if err != nil {
+		t.Fatalf("parsing synthetic function: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return NewCFG(fd.Body), fset
+		}
+	}
+	t.Fatal("no function in source")
+	return nil, nil
+}
+
+// golden compares a CFG dump against its expected text, with a
+// line-diff on mismatch.
+func golden(t *testing.T, got, want string) {
+	t.Helper()
+	got = strings.TrimSpace(got)
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG dump mismatch\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestCFGSelectWithDefault(t *testing.T) {
+	c, fset := buildCFG(t, `
+func f(ch chan int) {
+	select {
+	case v := <-ch:
+		use(v)
+	case ch <- 1:
+	default:
+		idle()
+	}
+	after()
+}`)
+	golden(t, c.Dump(fset), `
+b0 entry: -> b2
+b1 exit:
+b2 body: {select { case v := <-ch: use(v) case ch <- 1: default: id...} -> b4 b5 b6
+b3 select.done: {after()} -> b1
+b4 select.case: {v := <-ch} {use(v)} -> b3
+b5 select.case: {ch <- 1} -> b3
+b6 select.default: {idle()} -> b3
+`)
+}
+
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	c, fset := buildCFG(t, `
+func f(rows [][]int) {
+outer:
+	for i := range rows {
+		for j := range rows[i] {
+			if skip(i, j) {
+				continue outer
+			}
+			if stop(i, j) {
+				break outer
+			}
+			visit(i, j)
+		}
+	}
+	after()
+}`)
+	golden(t, c.Dump(fset), `
+b0 entry: -> b2
+b1 exit:
+b2 body: -> b3
+b3 label.outer: -> b4
+b4 range.head: {for i := range rows { for j := range rows[i] { if skip(i,...} -> b5 b6
+b5 range.body: -> b7
+b6 range.done: {after()} -> b1
+b7 range.head: {for j := range rows[i] { if skip(i, j) { continue outer }...} -> b8 b9
+b8 range.body: {skip(i, j)} -> b10 b11
+b9 range.done: -> b4
+b10 if.then: {continue outer} -> b4
+b11 if.done: {stop(i, j)} -> b12 b13
+b12 if.then: {break outer} -> b6
+b13 if.done: {visit(i, j)} -> b7
+`)
+}
+
+func TestCFGDeferOrdering(t *testing.T) {
+	c, fset := buildCFG(t, `
+func f() error {
+	mu.Lock()
+	defer mu.Unlock()
+	f, err := open()
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return work(f)
+}`)
+	golden(t, c.Dump(fset), `
+b0 entry: -> b2
+b1 exit:
+b2 body: {mu.Lock()} {defer mu.Unlock()} {f, err := open()} {err != nil} -> b3 b4
+b3 if.then: {return err} -> b1
+b4 if.done: {defer f.Close()} {return work(f)} -> b1
+defers (LIFO): f.Close(), mu.Unlock()
+`)
+}
+
+func TestCFGPanicRecoverEdges(t *testing.T) {
+	// panic jumps straight to exit; the statement after it is dead code
+	// in an unreachable block. recover lives inside a deferred literal,
+	// which is its own function — here it is just a recorded defer.
+	c, fset := buildCFG(t, `
+func f(bad bool) {
+	defer func() { recover() }()
+	if bad {
+		panic("boom")
+	}
+	work()
+}`)
+	golden(t, c.Dump(fset), `
+b0 entry: -> b2
+b1 exit:
+b2 body: {defer func() { recover() }()} {bad} -> b3 b4
+b3 if.then: {panic("boom")} -> b1
+b4 if.done: {work()} -> b1
+defers (LIFO): func() { recover() }()
+`)
+}
+
+func TestCFGShortCircuitCond(t *testing.T) {
+	c, fset := buildCFG(t, `
+func f(a, b bool) {
+	if a && (b || c()) {
+		hit()
+	}
+	after()
+}`)
+	golden(t, c.Dump(fset), `
+b0 entry: -> b2
+b1 exit:
+b2 body: {a} -> b5 b4
+b3 if.then: {hit()} -> b4
+b4 if.done: {after()} -> b1
+b5 cond.and: {b} -> b3 b6
+b6 cond.or: {c()} -> b3 b4
+`)
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c, fset := buildCFG(t, `
+func f(n int) {
+	switch n {
+	case 0:
+		zero()
+		fallthrough
+	case 1:
+		one()
+	}
+	after()
+}`)
+	golden(t, c.Dump(fset), `
+b0 entry: -> b2
+b1 exit:
+b2 body: {n} -> b4 b5 b3
+b3 switch.done: {after()} -> b1
+b4 switch.case: {zero()} {fallthrough} -> b5
+b5 switch.case: {one()} -> b3
+`)
+}
+
+func TestCFGGoto(t *testing.T) {
+	c, fset := buildCFG(t, `
+func f() {
+	i := 0
+loop:
+	if i < 3 {
+		i++
+		goto loop
+	}
+	done()
+}`)
+	golden(t, c.Dump(fset), `
+b0 entry: -> b2
+b1 exit:
+b2 body: {i := 0} -> b3
+b3 label.loop: {i < 3} -> b4 b5
+b4 if.then: {i++} {goto loop} -> b3
+b5 if.done: {done()} -> b1
+`)
+}
+
+// TestCFGReachable: code after an unconditional return lands in an
+// unreachable block that Reachable() excludes.
+func TestCFGReachable(t *testing.T) {
+	c, _ := buildCFG(t, `
+func f() {
+	return
+	dead()
+}`)
+	seen := c.Reachable()
+	if !seen[c.Entry] || !seen[c.Exit] {
+		t.Fatal("entry/exit must be reachable")
+	}
+	for _, blk := range c.Blocks {
+		if blk.Kind == "unreachable" && seen[blk] {
+			t.Errorf("b%d marked reachable, want unreachable", blk.ID)
+		}
+	}
+}
+
+// identFact is a toy lattice for the fixpoint driver test: the set of
+// identifier names possibly assigned so far, joined by union.
+type identFact struct {
+	names map[string]bool
+}
+
+func (f *identFact) EqualFact(o FlowFact) bool {
+	of := o.(*identFact)
+	if len(f.names) != len(of.names) {
+		return false
+	}
+	for n := range f.names {
+		if !of.names[n] {
+			return false
+		}
+	}
+	return true
+}
+
+type identRule struct{}
+
+func (identRule) Entry() FlowFact { return &identFact{names: map[string]bool{}} }
+
+func (identRule) Join(a, b FlowFact) FlowFact {
+	out := &identFact{names: map[string]bool{}}
+	for n := range a.(*identFact).names {
+		out.names[n] = true
+	}
+	for n := range b.(*identFact).names {
+		out.names[n] = true
+	}
+	return out
+}
+
+func (identRule) Transfer(n ast.Node, in FlowFact) FlowFact {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok {
+		return in
+	}
+	out := &identFact{names: map[string]bool{}}
+	for name := range in.(*identFact).names {
+		out.names[name] = true
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			out.names[id.Name] = true
+		}
+	}
+	return out
+}
+
+func sortedNames(f FlowFact) string {
+	var names []string
+	for n := range f.(*identFact).names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ",")
+}
+
+// TestFlowForwardFixpoint: facts propagate through branches and loops
+// and the exit fact is the union over all paths.
+func TestFlowForwardFixpoint(t *testing.T) {
+	c, _ := buildCFG(t, `
+func f(cond bool) {
+	a := 1
+	if cond {
+		b := 2
+		_ = b
+	} else {
+		c := 3
+		_ = c
+	}
+	for i := 0; i < 3; i++ {
+		d := 4
+		_ = d
+	}
+}`)
+	in := FlowForward(c, identRule{})
+	exit := in[c.Exit]
+	if exit == nil {
+		t.Fatal("exit unreachable")
+	}
+	// i/d only on loop paths, b/c each on one branch: the union holds
+	// everything.
+	if got, want := sortedNames(exit), "_,a,b,c,d,i"; got != want {
+		t.Errorf("exit fact = %q, want %q", got, want)
+	}
+	// The loop head joins the zero-iteration path (no d) with the
+	// post-iteration path (d), so the body's entry must already include
+	// the loop-carried names — the fixpoint ran more than one pass.
+	var bodyBlk *Block
+	for _, blk := range c.Blocks {
+		if blk.Kind == "for.body" {
+			bodyBlk = blk
+		}
+	}
+	if bodyBlk == nil {
+		t.Fatal("no for.body block")
+	}
+	if f := in[bodyBlk]; f == nil || !f.(*identFact).names["d"] {
+		t.Errorf("for.body entry fact %v lacks loop-carried d", f)
+	}
+}
+
+// TestCFGUnreachableAfterPanic: panic ends its block with an exit edge.
+func TestCFGUnreachableAfterPanic(t *testing.T) {
+	c, _ := buildCFG(t, `
+func f() {
+	panic("x")
+	dead()
+}`)
+	var panicBlk *Block
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok && isPanicCall(es.X) {
+				panicBlk = blk
+			}
+		}
+	}
+	if panicBlk == nil {
+		t.Fatal("no block holds the panic call")
+	}
+	if len(panicBlk.Succs) != 1 || panicBlk.Succs[0] != c.Exit {
+		t.Errorf("panic block succs = %v, want [exit]", panicBlk.Succs)
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+// A small forward-dataflow fixpoint driver over the CFGs built in
+// cfg.go. Rules supply a join-semilattice of facts and a per-node
+// transfer function; the driver iterates to fixpoint with a worklist.
+// Nothing here knows about locks or goroutines — lockdiscipline and
+// friends are clients.
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// FlowFact is one lattice element. Facts must be immutable: Transfer
+// and Join return fresh values rather than mutating their inputs, so
+// the driver can compare and cache them. The nil FlowFact is bottom
+// ("unreached") for every lattice and never reaches Transfer or the
+// fact side of Join.
+type FlowFact interface {
+	// EqualFact reports value equality against another fact of the same
+	// lattice; the driver uses it to detect the fixpoint.
+	EqualFact(FlowFact) bool
+}
+
+// FlowRule is one forward dataflow problem.
+type FlowRule interface {
+	// Entry is the fact holding at function entry.
+	Entry() FlowFact
+	// Join combines the facts of two predecessor edges. It is only
+	// called with non-nil facts.
+	Join(a, b FlowFact) FlowFact
+	// Transfer applies one CFG node to the incoming fact and returns
+	// the outgoing fact.
+	Transfer(n ast.Node, in FlowFact) FlowFact
+}
+
+// FlowForward runs rule over c to fixpoint and returns the fact at each
+// block's entry. Unreachable blocks map to nil (bottom). The iteration
+// order is deterministic (ascending block ID worklist), so any
+// diagnostics a rule derives afterwards are stable.
+func FlowForward(c *CFG, rule FlowRule) map[*Block]FlowFact {
+	in := make(map[*Block]FlowFact, len(c.Blocks))
+	in[c.Entry] = rule.Entry()
+
+	work := newBlockQueue()
+	work.push(c.Entry)
+	for !work.empty() {
+		b := work.pop()
+		fact := in[b]
+		if fact == nil {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fact = rule.Transfer(n, fact)
+		}
+		for _, s := range b.Succs {
+			merged := fact
+			if prev := in[s]; prev != nil {
+				merged = rule.Join(prev, fact)
+				if merged.EqualFact(prev) {
+					continue
+				}
+			}
+			in[s] = merged
+			work.push(s)
+		}
+	}
+	return in
+}
+
+// blockQueue is a deterministic worklist: pop always returns the
+// pending block with the smallest ID.
+type blockQueue struct {
+	pending map[*Block]bool
+	order   []*Block
+}
+
+func newBlockQueue() *blockQueue {
+	return &blockQueue{pending: map[*Block]bool{}}
+}
+
+func (q *blockQueue) push(b *Block) {
+	if q.pending[b] {
+		return
+	}
+	q.pending[b] = true
+	q.order = append(q.order, b)
+	sort.Slice(q.order, func(i, j int) bool { return q.order[i].ID < q.order[j].ID })
+}
+
+func (q *blockQueue) pop() *Block {
+	b := q.order[0]
+	q.order = q.order[1:]
+	delete(q.pending, b)
+	return b
+}
+
+func (q *blockQueue) empty() bool { return len(q.order) == 0 }

@@ -1,0 +1,81 @@
+package analysis
+
+// deferinloop flags `defer x.Unlock()` / `defer x.Close()` inside a
+// loop body. Defers run at function exit, not iteration exit, so the
+// pattern holds every iteration's lock (or file descriptor) until the
+// whole loop — and everything after it — finishes: a quiet serialization
+// bug for locks and an fd exhaustion bug for files. The fix is to call
+// directly at iteration end or hoist the body into its own function.
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeferInLoop reports defers of Unlock/RUnlock/Close in loop bodies.
+var DeferInLoop = &Analyzer{
+	Name: "deferinloop",
+	Doc: "defer of Unlock/RUnlock/Close inside a loop accumulates until " +
+		"function exit; release per iteration or extract a function",
+	Run: runDeferInLoop,
+}
+
+func runDeferInLoop(pass *Pass) error {
+	for _, fb := range funcBodies(pass.Files) {
+		checkLoopDefers(pass, fb.body, false)
+	}
+	return nil
+}
+
+// checkLoopDefers walks one function body without crossing into nested
+// function literals (they are their own funcBodies and their defers run
+// at their own exit — `for { func() { defer mu.Unlock() ... }() }` is
+// the correct hoisted form, not a finding).
+func checkLoopDefers(pass *Pass, n ast.Node, inLoop bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if m.Init != nil {
+				checkLoopDefers(pass, m.Init, inLoop)
+			}
+			if m.Post != nil {
+				checkLoopDefers(pass, m.Post, inLoop)
+			}
+			checkLoopDefers(pass, m.Body, true)
+			return false
+		case *ast.RangeStmt:
+			checkLoopDefers(pass, m.Body, true)
+			return false
+		case *ast.DeferStmt:
+			if !inLoop {
+				return true
+			}
+			if name, ok := releasingCall(pass, m.Call); ok {
+				pass.Reportf(m.Pos(), "defer %s inside a loop runs only at function exit, holding every iteration's resource until then; call it at iteration end or hoist the body into a function", name)
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// releasingCall reports whether call releases a lock or closes a
+// resource: the sync mutex Unlock family, or any method named Close.
+func releasingCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).RUnlock":
+		return fn.Name(), true
+	}
+	if fn.Name() == "Close" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return "Close", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,552 @@
+package analysis
+
+// lockdiscipline is the first CFG-backed rule: it runs a forward
+// dataflow over every function, tracking which sync.Mutex/RWMutex
+// values are held on each path, and reports
+//
+//   - a Lock with no matching Unlock (direct or deferred) on some path
+//     out of the function,
+//   - a second Lock of a mutex already held (self-deadlock),
+//   - an Unlock of a mutex the path never locked,
+//   - a blocking operation — channel send/receive, blocking select,
+//     (*os.File).Sync, Pool.Submit — reached while a lock is held
+//     (directly or through an intra-package callee, via the call
+//     summaries), and
+//   - inconsistent acquisition order between two mutexes that the
+//     package nests both ways (lock-order inversion).
+//
+// Precision choices: the "held" predicate used for blocking and
+// double-lock checks is must-hold (true on every path reaching the
+// node), so joins of unlock-on-one-path control flow do not produce
+// false positives; the exit check uses may-hold, so a single leaky
+// path is caught. Sends and receives that are the communication of a
+// select are charged to the select (one with a default clause never
+// blocks — the SSE broker's lossy-publish idiom stays legal).
+// (*sync.Cond).Wait releases its mutex while parked and is not a
+// blocking operation here. TryLock is ignored (its acquisition is
+// conditional on the result, which needs path-sensitive reasoning).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline checks mutex pairing, blocking-under-lock and
+// acquisition order on every function's CFG.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "every Lock must be released on all exit paths, never held " +
+		"across channel ops, blocking selects, file syncs or pool " +
+		"submission, and nested locks must keep one acquisition order",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	sum := summarize(pass)
+	ld := &lockChecker{pass: pass, sum: sum, orders: map[lockOrder]token.Pos{}}
+	for _, fb := range funcBodies(pass.Files) {
+		ld.checkFunc(fb)
+	}
+	ld.reportInversions()
+	return nil
+}
+
+// lockOrder records "first acquired, then second while first held",
+// keyed by the mutexes' type-level names so the order is comparable
+// across functions.
+type lockOrder struct {
+	first, second string
+}
+
+type lockChecker struct {
+	pass   *Pass
+	sum    *pkgSummary
+	orders map[lockOrder]token.Pos // first occurrence of each nesting
+}
+
+// lockState is the per-mutex dataflow state.
+type lockState struct {
+	may, must       bool // held on some / every path
+	defMay, defMust bool // an Unlock is deferred on some / every path
+	read            bool // acquired via RLock on the latest acquire
+	pos             token.Pos
+}
+
+// lockFact is the lattice element: mutex key → state. Treated as
+// immutable; transfer copies before writing.
+type lockFact struct {
+	locks map[string]lockState
+}
+
+func (f *lockFact) EqualFact(o FlowFact) bool {
+	of, ok := o.(*lockFact)
+	if !ok || len(f.locks) != len(of.locks) {
+		return false
+	}
+	for k, v := range f.locks {
+		if ov, ok := of.locks[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+func (f *lockFact) clone() *lockFact {
+	n := &lockFact{locks: make(map[string]lockState, len(f.locks))}
+	for k, v := range f.locks {
+		n.locks[k] = v
+	}
+	return n
+}
+
+// lockRule adapts the checker to the dataflow driver for one function.
+type lockRule struct {
+	c *lockChecker
+	// report, when non-nil, receives diagnostics; it is nil during the
+	// fixpoint iterations and set during the single reporting pass so
+	// every finding fires exactly once, on converged facts.
+	report func(pos token.Pos, format string, args ...any)
+	// names maps mutex keys to display and type-level names.
+	names map[string]lockNames
+	// everLocked holds the mutexes this function Locks somewhere.
+	// Unlock-without-Lock is only reported for those: a function that
+	// only unlocks implements a "called with lock held" contract
+	// (e.g. the closure of defer func() { mu.Unlock() }()).
+	everLocked map[string]bool
+}
+
+type lockNames struct {
+	display string // source-ish spelling: "s.mu"
+	typed   string // type-level identity: "serve.Server.mu"
+}
+
+func (r *lockRule) Entry() FlowFact { return &lockFact{locks: map[string]lockState{}} }
+
+func (r *lockRule) Join(a, b FlowFact) FlowFact {
+	af, bf := a.(*lockFact), b.(*lockFact)
+	out := &lockFact{locks: map[string]lockState{}}
+	for k, av := range af.locks {
+		bv := bf.locks[k] // zero state when absent: not held
+		out.locks[k] = joinState(av, bv)
+	}
+	for k, bv := range bf.locks {
+		if _, ok := af.locks[k]; !ok {
+			out.locks[k] = joinState(lockState{}, bv)
+		}
+	}
+	return out
+}
+
+func joinState(a, b lockState) lockState {
+	s := lockState{
+		may:     a.may || b.may,
+		must:    a.must && b.must,
+		defMay:  a.defMay || b.defMay,
+		defMust: a.defMust && b.defMust,
+		read:    a.read || b.read,
+	}
+	s.pos = a.pos
+	if s.pos == token.NoPos || (b.pos != token.NoPos && b.pos < s.pos) {
+		s.pos = b.pos
+	}
+	return s
+}
+
+func (r *lockRule) Transfer(n ast.Node, in FlowFact) FlowFact {
+	fact := in.(*lockFact)
+	if d, ok := n.(*ast.DeferStmt); ok {
+		return r.transferDefer(d, fact)
+	}
+	for _, ev := range r.c.events(n) {
+		fact = r.applyEvent(ev, fact)
+	}
+	return fact
+}
+
+// transferDefer registers deferred unlocks; the deferred call's other
+// effects happen at exit and are out of scope here (fsyncdiscipline
+// already polices deferred Sync/Close error handling).
+func (r *lockRule) transferDefer(d *ast.DeferStmt, fact *lockFact) *lockFact {
+	unlocks := r.c.deferredUnlocks(d)
+	if len(unlocks) == 0 {
+		return fact
+	}
+	out := fact.clone()
+	for _, ev := range unlocks {
+		key, names, ok := r.c.lockKey(ev.recv)
+		if !ok {
+			continue
+		}
+		r.names[key] = names
+		st := out.locks[key]
+		st.defMay, st.defMust = true, true
+		out.locks[key] = st
+	}
+	return out
+}
+
+func (r *lockRule) applyEvent(ev lockEvent, fact *lockFact) *lockFact {
+	switch ev.kind {
+	case evLock:
+		key, names, ok := r.c.lockKey(ev.recv)
+		if !ok {
+			return fact
+		}
+		r.names[key] = names
+		st := fact.locks[key]
+		if r.report != nil {
+			if st.must && !(st.read && ev.read) {
+				r.report(ev.site.Pos(), "second Lock of mutex %s while already held (self-deadlock)", names.display)
+			}
+			for ok2, st2 := range fact.locks {
+				if ok2 != key && st2.must {
+					r.recordOrder(r.names[ok2].typed, names.typed, ev.site.Pos())
+				}
+			}
+		}
+		out := fact.clone()
+		st = out.locks[key]
+		st.may, st.must, st.read, st.pos = true, true, ev.read, ev.site.Pos()
+		out.locks[key] = st
+		return out
+	case evUnlock:
+		key, names, ok := r.c.lockKey(ev.recv)
+		if !ok {
+			return fact
+		}
+		r.names[key] = names
+		st := fact.locks[key]
+		if r.report != nil && r.everLocked[key] && !st.may && !st.defMay {
+			r.report(ev.site.Pos(), "Unlock of mutex %s which is not locked on this path", names.display)
+		}
+		out := fact.clone()
+		st = out.locks[key]
+		st.may, st.must, st.pos = false, false, token.NoPos
+		out.locks[key] = st
+		return out
+	case evBlock:
+		if r.report != nil {
+			for key, st := range fact.locks {
+				if st.must {
+					r.report(ev.site.Pos(), "mutex %s held across %s; release it before blocking",
+						r.names[key].display, ev.ops.describe())
+				}
+			}
+		}
+	}
+	return fact
+}
+
+func (r *lockRule) recordOrder(first, second string, pos token.Pos) {
+	if first == "" || second == "" || first == second {
+		return
+	}
+	key := lockOrder{first, second}
+	if _, ok := r.c.orders[key]; !ok {
+		r.c.orders[key] = pos
+	}
+}
+
+// checkFunc runs the dataflow over one function and reports on the
+// converged facts.
+func (c *lockChecker) checkFunc(fb funcBody) {
+	if !c.usesLocks(fb.body) {
+		return
+	}
+	cfg := NewCFG(fb.body)
+	rule := &lockRule{c: c, names: map[string]lockNames{}, everLocked: c.lockedKeys(fb.body)}
+	in := FlowForward(cfg, rule)
+
+	// Reporting pass: replay each reachable block once on its fixpoint
+	// in-fact with diagnostics enabled.
+	seen := map[string]bool{} // dedupe identical (pos, message) pairs
+	rule.report = func(pos token.Pos, format string, args ...any) {
+		msg := fmt.Sprintf(format, args...)
+		k := fmt.Sprintf("%d:%s", pos, msg)
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		c.pass.Reportf(pos, "%s", msg)
+	}
+	for _, blk := range cfg.Blocks {
+		fact := in[blk]
+		if fact == nil {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			fact = rule.Transfer(n, fact)
+		}
+	}
+
+	// Exit check: anything may-held at exit without a must-deferred
+	// unlock leaks on some path.
+	if exit, ok := in[cfg.Exit].(*lockFact); ok {
+		keys := make([]string, 0, len(exit.locks))
+		for k := range exit.locks {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			st := exit.locks[k]
+			if st.may && !st.defMust {
+				c.pass.Reportf(st.pos, "mutex %s acquired here is not released on every path out of %s (missing Unlock or defer Unlock)",
+					rule.names[k].display, fb.name)
+			}
+		}
+	}
+}
+
+// reportInversions emits one diagnostic per nesting site that has a
+// reversed counterpart somewhere in the package.
+func (c *lockChecker) reportInversions() {
+	type inv struct {
+		pos   token.Pos
+		order lockOrder
+		other token.Pos
+	}
+	var invs []inv
+	for o, pos := range c.orders {
+		rev := lockOrder{o.second, o.first}
+		if rpos, ok := c.orders[rev]; ok {
+			invs = append(invs, inv{pos: pos, order: o, other: rpos})
+		}
+	}
+	sort.Slice(invs, func(i, j int) bool { return invs[i].pos < invs[j].pos })
+	for _, v := range invs {
+		c.pass.Reportf(v.pos, "lock order inversion: %s acquired while holding %s here, but the opposite order at %s (deadlock under contention)",
+			v.order.second, v.order.first, c.pass.Fset.Position(v.other))
+	}
+}
+
+// lockedKeys collects the mutexes a body Locks directly (not through
+// nested function literals).
+func (c *lockChecker) lockedKeys(body *ast.BlockStmt) map[string]bool {
+	keys := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, name, _, ok := c.mutexCall(call); ok && (name == "Lock" || name == "RLock") {
+			if key, _, ok := c.lockKey(recv); ok {
+				keys[key] = true
+			}
+		}
+		return true
+	})
+	return keys
+}
+
+// usesLocks cheaply pre-screens a body for mutex method calls so the
+// CFG+dataflow machinery only runs where it can matter.
+func (c *lockChecker) usesLocks(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, _, ok := c.mutexCall(call); ok {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// lockEvent is one lock-relevant occurrence inside a CFG node.
+type lockEvent struct {
+	kind eventKind
+	recv ast.Expr // mutex expression for evLock/evUnlock
+	read bool     // RLock/RUnlock
+	ops  opSet    // for evBlock
+	site ast.Node
+}
+
+type eventKind int
+
+const (
+	evLock eventKind = iota
+	evUnlock
+	evBlock
+)
+
+// events extracts the ordered lock events of one CFG node. Function
+// literals, go statements and defers are skipped (a closure's locks are
+// analyzed as its own function; a goroutine's blocking is not the
+// spawner's; defers are handled by transferDefer). Select bodies and
+// range bodies are skipped because their statements live in their own
+// CFG blocks.
+func (c *lockChecker) events(n ast.Node) []lockEvent {
+	var evs []lockEvent
+	var walk func(ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+				return false
+			case *ast.SelectStmt:
+				if !selectHasDefault(m) {
+					evs = append(evs, lockEvent{kind: evBlock, ops: opSelect, site: m})
+				}
+				return false
+			case *ast.RangeStmt:
+				if c.sum.isChan(m.X) {
+					evs = append(evs, lockEvent{kind: evBlock, ops: opRecv, site: m})
+				}
+				walk(m.X)
+				return false
+			case *ast.SendStmt:
+				walk(m.Chan)
+				walk(m.Value)
+				if !c.sum.comms[m] {
+					evs = append(evs, lockEvent{kind: evBlock, ops: opSend, site: m})
+				}
+				return false
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					walk(m.X)
+					if !c.sum.comms[m] {
+						evs = append(evs, lockEvent{kind: evBlock, ops: opRecv, site: m})
+					}
+					return false
+				}
+			case *ast.CallExpr:
+				if recv, name, read, ok := c.mutexCall(m); ok {
+					switch name {
+					case "Lock", "RLock":
+						evs = append(evs, lockEvent{kind: evLock, recv: recv, read: read, site: m})
+					case "Unlock", "RUnlock":
+						evs = append(evs, lockEvent{kind: evUnlock, recv: recv, read: read, site: m})
+					}
+					// TryLock/TryRLock fall through to "ignored".
+					return false
+				}
+				for _, arg := range m.Args {
+					walk(arg)
+				}
+				walk(m.Fun)
+				if ops := c.sum.opsOfCall(m); ops.any() {
+					evs = append(evs, lockEvent{kind: evBlock, ops: ops, site: m})
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(n)
+	return evs
+}
+
+// deferredUnlocks extracts the unlock registrations of one defer: the
+// direct `defer mu.Unlock()` form and the wrapped
+// `defer func() { mu.Unlock() }()` idiom.
+func (c *lockChecker) deferredUnlocks(d *ast.DeferStmt) []lockEvent {
+	var evs []lockEvent
+	record := func(call *ast.CallExpr) {
+		if recv, name, read, ok := c.mutexCall(call); ok && (name == "Unlock" || name == "RUnlock") {
+			evs = append(evs, lockEvent{kind: evUnlock, recv: recv, read: read, site: call})
+		}
+	}
+	record(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				record(call)
+			}
+			return true
+		})
+	}
+	return evs
+}
+
+// mutexCall classifies call as a sync.Mutex/RWMutex method invocation,
+// returning the mutex expression and method name.
+func (c *lockChecker) mutexCall(call *ast.CallExpr) (recv ast.Expr, name string, read bool, ok bool) {
+	fn := calleeFunc(c.pass.Info, call)
+	if fn == nil {
+		return nil, "", false, false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock", "(*sync.Mutex).TryLock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock", "(*sync.RWMutex).TryLock":
+	case "(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock", "(*sync.RWMutex).TryRLock":
+		read = true
+	default:
+		return nil, "", false, false
+	}
+	sel, selOk := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return nil, "", false, false
+	}
+	return sel.X, fn.Name(), read, true
+}
+
+// lockKey canonicalizes a mutex expression into a per-object key (for
+// dataflow identity) and display/type-level names (for diagnostics and
+// cross-function ordering). Expressions rooted in anything but a plain
+// identifier chain (map index, call result) are not trackable.
+func (c *lockChecker) lockKey(e ast.Expr) (string, lockNames, bool) {
+	var fields []string
+	cur := ast.Unparen(e)
+	for {
+		if sel, ok := cur.(*ast.SelectorExpr); ok {
+			fields = append([]string{sel.Sel.Name}, fields...)
+			cur = ast.Unparen(sel.X)
+			continue
+		}
+		break
+	}
+	id, ok := cur.(*ast.Ident)
+	if !ok {
+		return "", lockNames{}, false
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return "", lockNames{}, false
+	}
+	display := strings.Join(append([]string{id.Name}, fields...), ".")
+	key := fmt.Sprintf("%d.%s", obj.Pos(), strings.Join(fields, "."))
+
+	// Type-level name: the named type owning the final field, or the
+	// package-qualified variable for bare mutexes.
+	typed := ""
+	ownerExpr := e
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		ownerExpr = sel.X
+		if t := c.pass.Info.TypeOf(ownerExpr); t != nil {
+			typed = namedTypeName(t) + "." + sel.Sel.Name
+		}
+	} else if obj.Pkg() != nil {
+		typed = obj.Pkg().Name() + "." + display
+	}
+	return key, lockNames{display: display, typed: typed}, true
+}
+
+// namedTypeName renders the named type behind t (through pointers) as
+// "pkg.Type".
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	if n.Obj().Pkg() != nil {
+		return n.Obj().Pkg().Name() + "." + n.Obj().Name()
+	}
+	return n.Obj().Name()
+}

@@ -1,0 +1,53 @@
+// Package atomicmix is the analyzer fixture: no mixing atomic and
+// plain access to the same variable.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    uint64 // accessed atomically; the seeded plain access below must be caught
+	safe uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) atomicRead() uint64 {
+	return atomic.LoadUint64(&c.n)
+}
+
+// racyRead is the seeded mixed access: a plain load of an atomically
+// written field.
+func (c *counter) racyRead() uint64 {
+	return c.n // want `plain access to n, which is accessed via sync/atomic at .*fixture\.go:\d+:\d+; every access must be atomic \(or migrate to the typed atomics\)`
+}
+
+var hits uint64
+
+func bump() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func racyWrite() {
+	hits = 0 // want `plain access to hits, which is accessed via sync/atomic at .*fixture\.go:\d+:\d+; every access must be atomic \(or migrate to the typed atomics\)`
+}
+
+// plainOnly: fields never touched atomically stay unpoliced.
+func (c *counter) plainOnly() uint64 {
+	c.safe++
+	return c.safe
+}
+
+// typedAtomics cannot mix by construction; the rule ignores them.
+type gauge struct {
+	v atomic.Int64
+}
+
+func (g *gauge) read() int64 {
+	return g.v.Load()
+}
+
+func allowed(c *counter) uint64 {
+	return c.n //viplint:allow atomicmix -- constructor-time read before any goroutine exists
+}

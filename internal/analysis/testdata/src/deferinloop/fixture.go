@@ -1,0 +1,82 @@
+// Package deferinloop is the analyzer fixture: defers of releasing
+// calls inside loop bodies.
+package deferinloop
+
+import (
+	"io"
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func leakFDs(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		defer f.Close() // want `defer Close inside a loop runs only at function exit, holding every iteration's resource until then; call it at iteration end or hoist the body into a function`
+	}
+}
+
+func holdLock(items []int) {
+	for range items {
+		mu.Lock()
+		defer mu.Unlock() // want `defer Unlock inside a loop runs only at function exit, holding every iteration's resource until then; call it at iteration end or hoist the body into a function`
+	}
+}
+
+// hoisted is the blessed fix: the literal's defers run per iteration.
+func hoisted(paths []string) error {
+	for _, p := range paths {
+		if err := func() error {
+			f, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return use(f)
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topLevel defers outside loops are the normal idiom.
+func topLevel(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if err := use(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// nonReleasing defers in loops are fine — the rule targets resource
+// releases, not arbitrary defers.
+func nonReleasing(items []int) {
+	for range items {
+		defer note()
+	}
+}
+
+func allowed(paths []string) {
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		defer f.Close() //viplint:allow deferinloop -- fixed 3-element list, all closed at exit by design
+	}
+}
+
+func use(r io.Reader) error { return nil }
+
+func note() {}

@@ -1,0 +1,85 @@
+// Package goroleak is the analyzer fixture: goroutines in long-lived
+// packages must have a registered stop path.
+package goroleak
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// orphan is the seeded violation: a forever-loop nothing can stop.
+func orphan() {
+	go func() { // want `goroutine has no stop path: its body neither watches a channel/context, signals a WaitGroup, nor runs a server accept loop, so nothing can shut it down`
+		for {
+			work()
+		}
+	}()
+}
+
+// viaValue: a call through a function value is statically opaque, so it
+// counts as unstoppable; wrap it in a literal that threads a context.
+func viaValue(f func()) {
+	go f() // want `goroutine has no stop path: its body neither watches a channel/context, signals a WaitGroup, nor runs a server accept loop, so nothing can shut it down`
+}
+
+func cancellable(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+type srv struct {
+	quit chan struct{}
+}
+
+// spawnMethod's stop path lives in the callee: the summary pass credits
+// go s.loop() with loop's select on the quit channel.
+func spawnMethod(s *srv) {
+	go s.loop()
+}
+
+func (s *srv) loop() {
+	for {
+		select {
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+func acceptLoop(hs *http.Server, ln net.Listener) {
+	go func() {
+		_ = hs.Serve(ln)
+	}()
+}
+
+func ranger(jobs chan func()) {
+	go func() {
+		for j := range jobs {
+			j()
+		}
+	}()
+}
+
+func allowed() {
+	go work() //viplint:allow goroleak -- one-shot warmup, exits on its own within milliseconds
+}
+
+func work() {}

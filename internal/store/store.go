@@ -198,13 +198,13 @@ func (s *Store) Len() int {
 func (s *Store) Put(key string, val []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.appendLocked(Record{Op: OpPut, Key: key, Value: val}); err != nil {
+	if err := s.appendLocked(Record{Op: OpPut, Key: key, Value: val}); err != nil { //viplint:allow lockdiscipline -- write-ahead contract: fsync must happen inside the critical section so no reader sees an unsynced Put
 		return err
 	}
 	v := make([]byte, len(val))
 	copy(v, val)
 	s.data[key] = v
-	return s.maybeCompactLocked()
+	return s.maybeCompactLocked() //viplint:allow lockdiscipline -- compaction checkpoint must be atomic with the table it snapshots
 }
 
 // Delete durably removes key. Deleting an absent key is a no-op that
@@ -212,11 +212,11 @@ func (s *Store) Put(key string, val []byte) error {
 func (s *Store) Delete(key string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.appendLocked(Record{Op: OpDelete, Key: key}); err != nil {
+	if err := s.appendLocked(Record{Op: OpDelete, Key: key}); err != nil { //viplint:allow lockdiscipline -- write-ahead contract: fsync must happen inside the critical section so no reader sees an unsynced Delete
 		return err
 	}
 	delete(s.data, key)
-	return s.maybeCompactLocked()
+	return s.maybeCompactLocked() //viplint:allow lockdiscipline -- compaction checkpoint must be atomic with the table it snapshots
 }
 
 // appendLocked frames rec, appends it and fsyncs. Caller holds mu.
@@ -295,7 +295,7 @@ func (s *Store) maybeCompactLocked() error {
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.compactLocked()
+	return s.compactLocked() //viplint:allow lockdiscipline -- explicit checkpoint: snapshot+fsync must exclude concurrent writers
 }
 
 // compactLocked writes the snapshot and resets the log. Caller holds mu.
@@ -398,7 +398,7 @@ func (s *Store) Close() error {
 	if s.wal == nil {
 		return nil
 	}
-	serr := s.syncFile(s.wal)
+	serr := s.syncFile(s.wal) //viplint:allow lockdiscipline -- final WAL flush on Close; the store is quiescing, nothing contends
 	cerr := s.wal.Close()
 	s.wal = nil
 	if serr != nil {
