@@ -2,7 +2,10 @@
 // plain access to the same variable.
 package atomicmix
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 type counter struct {
 	n    uint64 // accessed atomically; the seeded plain access below must be caught
@@ -50,4 +53,55 @@ func (g *gauge) read() int64 {
 
 func allowed(c *counter) uint64 {
 	return c.n //viplint:allow atomicmix -- constructor-time read before any goroutine exists
+}
+
+// ringCursor mimics the hand-rolled MPMC ring idiom that predates the
+// typed-atomic rewrite in internal/parallel: cursors advanced by CAS,
+// with a tempting plain-load fast path. The production Ring uses
+// atomic.Uint64 fields precisely so the racy form below cannot be
+// written at all.
+type ringCursor struct {
+	head uint64
+	tail uint64
+	size uint64
+}
+
+var ringMu sync.Mutex
+
+func (r *ringCursor) claimPush() bool {
+	h := atomic.LoadUint64(&r.head)
+	return atomic.CompareAndSwapUint64(&r.head, h, h+1)
+}
+
+func (r *ringCursor) claimPop() bool {
+	t := atomic.LoadUint64(&r.tail)
+	return atomic.CompareAndSwapUint64(&r.tail, t, t+1)
+}
+
+// emptyFast is the classic broken fast path: plain loads of both CAS'd
+// cursors "because the check is only a hint". A hint read still races.
+func (r *ringCursor) emptyFast() bool {
+	h := r.head // want `plain access to head, which is accessed via sync/atomic at .*fixture\.go:\d+:\d+; every access must be atomic \(or migrate to the typed atomics\)`
+	t := r.tail // want `plain access to tail, which is accessed via sync/atomic at .*fixture\.go:\d+:\d+; every access must be atomic \(or migrate to the typed atomics\)`
+	return h == t
+}
+
+// growLocked: holding an unrelated mutex does not pardon mixing plain
+// and atomic access to the same word — lock-side writers and
+// atomic-side readers are still unordered.
+func (r *ringCursor) growLocked() {
+	ringMu.Lock()
+	r.size++ // want `plain access to size, which is accessed via sync/atomic at .*fixture\.go:\d+:\d+; every access must be atomic \(or migrate to the typed atomics\)`
+	ringMu.Unlock()
+}
+
+func (r *ringCursor) sizeHint() uint64 {
+	return atomic.LoadUint64(&r.size)
+}
+
+// drainCount is the justified escape hatch: after Close has joined
+// every worker there is no concurrent CAS, and the reconciliation read
+// is deliberately plain.
+func (r *ringCursor) drainCount() uint64 {
+	return r.head - r.tail //viplint:allow atomicmix -- post-Close accounting: workers joined, no concurrent access remains
 }

@@ -168,4 +168,52 @@ func spawn() {
 	mu.Unlock()
 }
 
+// The work-stealing shapes below mirror internal/parallel's dispatch
+// pool: a thief locks a victim worker's heap, takes the earliest task,
+// and must release before doing anything that can block.
+
+var (
+	victim sync.Mutex
+	wake   = make(chan struct{}, 1)
+)
+
+// stealLeaky is the seeded stealing bug: the empty-victim path falls
+// out of the function with the victim's heap lock still held.
+func stealLeaky(nonEmpty bool) {
+	victim.Lock() // want `mutex victim acquired here is not released on every path out of stealLeaky \(missing Unlock or defer Unlock\)`
+	if nonEmpty {
+		victim.Unlock()
+	}
+}
+
+// handoffUnderVictimLock: handing the stolen task over a channel while
+// still holding the victim's lock serializes every thief behind a
+// possibly-full channel.
+func handoffUnderVictimLock(tasks chan int) {
+	victim.Lock()
+	tasks <- 1 // want `mutex victim held across channel send; release it before blocking`
+	victim.Unlock()
+}
+
+// lossyWake is the parked-worker wake idiom from the dispatch pool: a
+// select with a default clause never blocks, so signalling while the
+// victim's lock is held is legal.
+func lossyWake() {
+	victim.Lock()
+	select {
+	case wake <- struct{}{}:
+	default:
+	}
+	victim.Unlock()
+}
+
+// closeHandoff is the justified escape hatch: at Close time the buffer
+// is sized to the worker count and provably non-full, so the send
+// cannot block and the silence is deliberate.
+func closeHandoff(tasks chan int) {
+	victim.Lock()
+	defer victim.Unlock()
+	tasks <- 0 //viplint:allow lockdiscipline -- Close-time handoff: buffer sized to worker count, provably non-full
+}
+
 func work() {}

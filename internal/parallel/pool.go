@@ -1,10 +1,11 @@
 package parallel
 
 import (
-	"container/heap"
 	"context"
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // This file adds the long-lived counterpart to Do/Map: a bounded-queue
@@ -17,6 +18,18 @@ import (
 // Determinism is recovered one level down (every simulation run is
 // seed-deterministic regardless of when or where it starts) and one
 // level up (results are content-addressed, so replays are byte-equal).
+//
+// Dispatch layout: Submit's hot path is lock-free — one atomic
+// admission reservation, one sequence increment, one ring push
+// (ring.go), one lossy wake. Deadline ordering is recovered by a small
+// per-worker reorder stage: each worker drains the ring into a private
+// (deadline, seq) min-heap and dispatches its earliest entry, stealing
+// from a peer's heap when both the ring and its own heap are empty.
+// EDF order is therefore exact whenever a single worker observes the
+// backlog (the uncontended case, and any test that parks one worker),
+// and approximate across workers under contention — matching the
+// paper's hardware scheduler, where each engine picks the earliest
+// deadline among the lane contexts it can see, not a global order.
 
 // ErrQueueFull is returned by Submit when the admission queue is at
 // capacity. Callers translate it into backpressure (vipserve answers
@@ -34,50 +47,133 @@ type task struct {
 	fn       func(context.Context)
 }
 
-// taskHeap is a min-heap on (deadline, seq) — the same
+// taskHeap is a concrete 4-ary min-heap on (deadline, seq) — the same
 // earliest-deadline-first policy the paper's hardware scheduler applies
 // to virtual-lane contexts, applied here to queued simulation requests
-// so interactive (near-deadline) submissions overtake bulk sweeps.
-type taskHeap []task
-
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].deadline != h[j].deadline {
-		return h[i].deadline < h[j].deadline
-	}
-	return h[i].seq < h[j].seq
+// so interactive (near-deadline) submissions overtake bulk sweeps. Like
+// internal/sim's event queue it stores tasks in a flat slice with no
+// container/heap interface boxing, so the reorder stage never allocates
+// per task, and pop clears the vacated slot so a dispatched task's
+// closure and context are not pinned by the backing array.
+type taskHeap struct {
+	ts []task
 }
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)   { *h = append(*h, x.(task)) }
-func (h *taskHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = task{} // clear the slot so fn/ctx are not pinned
-	*h = old[:n-1]
+
+func (h *taskHeap) len() int { return len(h.ts) }
+
+func (h *taskHeap) less(i, j int) bool {
+	if h.ts[i].deadline != h.ts[j].deadline {
+		return h.ts[i].deadline < h.ts[j].deadline
+	}
+	return h.ts[i].seq < h.ts[j].seq
+}
+
+func (h *taskHeap) push(t task) {
+	h.ts = append(h.ts, t)
+	i := len(h.ts) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !h.less(i, p) {
+			break
+		}
+		h.ts[i], h.ts[p] = h.ts[p], h.ts[i]
+		i = p
+	}
+}
+
+func (h *taskHeap) pop() task {
+	t := h.ts[0]
+	n := len(h.ts) - 1
+	h.ts[0] = h.ts[n]
+	h.ts[n] = task{} // clear the slot so fn/ctx are not pinned
+	h.ts = h.ts[:n]
+	i := 0
+	for {
+		min := i
+		for c := 4*i + 1; c <= 4*i+4 && c < n; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if min == i {
+			break
+		}
+		h.ts[i], h.ts[min] = h.ts[min], h.ts[i]
+		i = min
+	}
 	return t
 }
 
-// Pool is a fixed set of workers draining a bounded, EDF-ordered
-// admission queue. Construct with NewPool; the zero value is unusable.
+// Stats is a single-read snapshot of the pool's counters. Depth and
+// Inflight are taken from one packed atomic word, so outstanding work
+// (Depth+Inflight) can never be torn mid-transition the way separate
+// Depth()/Inflight() reads could.
+type Stats struct {
+	Depth          int    // admitted tasks not yet dispatched (ring + reorder heaps)
+	Inflight       int    // tasks currently executing in workers
+	Cap            int    // admission capacity
+	Dispatched     uint64 // tasks handed to workers since construction
+	DeadlineMisses uint64 // tasks dispatched after their EDF deadline passed
+}
+
+// reorderWindow bounds each worker's private EDF heap. Draining the
+// whole ring into the heap would make every pop pay an O(log backlog)
+// sift during overload; a bounded window keeps the reorder stage cheap
+// and constant-cost while the excess backlog waits in the ring in
+// admission order. EDF ordering is exact whenever the backlog a worker
+// observes fits its window (always true for the uncontended case) and
+// windowed-approximate beyond it — the same bounded-context trade the
+// paper's hardware scheduler makes with its fixed lane-context store.
+const reorderWindow = 64
+
+// inflightOne is the packed-state increment for one executing task:
+// the low 32 bits of Pool.state count admitted-undispatched tasks
+// (depth), the high 32 count executing ones (inflight). A dispatch is
+// then a single atomic add of inflightOne-1 — depth down, inflight up
+// in one indivisible transition.
+const inflightOne = uint64(1) << 32
+
+// poolWorker is one worker's reorder stage: a private EDF heap,
+// mutex-guarded only because idle peers steal from it. Submitters
+// never touch it; the owner locks it briefly to drain the ring or pop,
+// so the lock is uncontended except during steals.
+type poolWorker struct {
+	mu sync.Mutex
+	h  taskHeap
+}
+
+// Pool is a fixed set of workers draining a bounded admission ring
+// through per-worker EDF reorder heaps. Construct with NewPool; the
+// zero value is unusable.
 type Pool struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	q      taskHeap
-	seq    uint64
-	cap    int
-	closed bool
-	wg     sync.WaitGroup
+	ring *Ring[task]
+	cap  int
+
+	seq    atomic.Uint64 // submission order, the EDF tie-break
+	state  atomic.Uint64 // inflight<<32 | depth, see inflightOne
+	closed atomic.Bool
+
+	dispatched atomic.Uint64
+	misses     atomic.Uint64
 
 	// clock, when set, reads the caller's deadline ordinal "now" so the
 	// pool can count tasks dispatched after their EDF deadline already
 	// passed. The pool itself never reads a wall clock: the ordinal space
 	// belongs to the submitter (vipserve passes unix-nanos).
-	clock      func() int64
-	dispatched uint64
-	misses     uint64
-	running    int        // tasks currently executing in workers
-	idle       *sync.Cond // broadcast when q drains and running drops to 0
+	clock atomic.Pointer[func() int64]
+
+	workers []poolWorker
+	parked  atomic.Int32  // workers currently blocked on wake
+	wake    chan struct{} // lossy worker wakeup, buffered to len(workers)
+	done    chan struct{} // closed by Close; unparks every worker
+	closing sync.Once
+	wg      sync.WaitGroup
+
+	// idleMu/idle serialize only Quiesce waiters and the idle
+	// notification; no dispatch-path operation takes them unless the
+	// pool just became idle.
+	idleMu sync.Mutex
+	idle   *sync.Cond
 }
 
 // NewPool starts a pool with the given worker count (<= 0 means the
@@ -89,12 +185,20 @@ func NewPool(workers, queueCap int) *Pool {
 	if queueCap <= 0 {
 		queueCap = 64
 	}
-	p := &Pool{cap: queueCap}
-	p.cond = sync.NewCond(&p.mu)
-	p.idle = sync.NewCond(&p.mu)
+	p := &Pool{
+		// The ring is sized to the admission capacity, so a ring push
+		// can only fail if the depth reservation has already bounded
+		// admissions — TryPush failing is a can't-happen backstop.
+		ring:    NewRing[task](queueCap),
+		cap:     queueCap,
+		workers: make([]poolWorker, workers),
+		wake:    make(chan struct{}, workers),
+		done:    make(chan struct{}),
+	}
+	p.idle = sync.NewCond(&p.idleMu)
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
-		go p.worker()
+		go p.worker(i)
 	}
 	return p
 }
@@ -102,47 +206,110 @@ func NewPool(workers, queueCap int) *Pool {
 // Submit admits fn with an EDF deadline (any monotone ordinal; vipserve
 // uses host unix-nanos). Every admitted task receives exactly one
 // fn(ctx) call from a worker goroutine, in earliest-deadline-first
-// order among queued tasks. fn must begin by checking ctx.Err(): the
+// order among the tasks each dispatching worker can observe (exact
+// global EDF when one worker drains the backlog, approximate across
+// concurrent workers). fn must begin by checking ctx.Err(): the
 // context is the submitter's (so a caller that gave up cancels the work
 // it queued), and a pool drained by Close delivers pending tasks a
 // cancelled context instead of silently dropping them.
 //
-// Submit never blocks: a full queue returns ErrQueueFull immediately —
-// that is the load-shedding signal — and a closed pool ErrPoolClosed.
+// Submit never blocks and never locks: a full queue returns
+// ErrQueueFull immediately — that is the load-shedding signal — and a
+// closed pool ErrPoolClosed.
 func (p *Pool) Submit(ctx context.Context, deadline int64, fn func(context.Context)) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	if p.closed.Load() {
 		return ErrPoolClosed
 	}
-	if len(p.q) >= p.cap {
+	// Reserve a depth slot before pushing: the reservation both bounds
+	// admissions to cap (so the ring can never overflow) and keeps
+	// workers from exiting between a concurrent Close and our push —
+	// they only exit once depth reaches zero.
+	if depth := uint32(p.state.Add(1)); int(depth) > p.cap {
+		p.releaseDepth()
 		return ErrQueueFull
 	}
-	p.seq++
-	heap.Push(&p.q, task{deadline: deadline, seq: p.seq, ctx: ctx, fn: fn})
-	p.cond.Signal()
+	if p.closed.Load() {
+		// Close landed between the first check and the reservation; the
+		// task was never pushed, so hand the slot back.
+		p.releaseDepth()
+		return ErrPoolClosed
+	}
+	t := task{deadline: deadline, seq: p.seq.Add(1), ctx: ctx, fn: fn}
+	if !p.ring.TryPush(t) {
+		p.releaseDepth()
+		return ErrQueueFull
+	}
+	// Lossy wake, gated on an actual sleeper: when every worker is busy
+	// the push alone suffices (workers re-scan the ring after each
+	// task), so the hot path skips the channel entirely. A worker that
+	// is about to park re-checks the ring *after* raising the parked
+	// count, so it cannot miss a push that saw parked == 0. If the
+	// buffer is full there are already enough pending wakeups to get
+	// every parked worker to re-scan.
+	if p.parked.Load() > 0 {
+		select {
+		case p.wake <- struct{}{}:
+		default:
+		}
+	}
 	return nil
 }
 
-// Depth reports the number of queued (not yet dispatched) tasks.
-func (p *Pool) Depth() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.q)
+// releaseDepth undoes a failed admission reservation, waking Quiesce
+// waiters if the rollback made the pool idle (they may have observed
+// the transient reservation).
+func (p *Pool) releaseDepth() {
+	if p.state.Add(^uint64(0)) == 0 {
+		p.notifyIdle()
+	}
 }
+
+// Stats returns a consistent snapshot of the pool's counters in one
+// call; see the Stats type for the tearing guarantee.
+func (p *Pool) Stats() Stats {
+	s := p.state.Load()
+	return Stats{
+		Depth:          int(uint32(s)),
+		Inflight:       int(s >> 32),
+		Cap:            p.cap,
+		Dispatched:     p.dispatched.Load(),
+		DeadlineMisses: p.misses.Load(),
+	}
+}
+
+// Depth reports the number of queued (not yet dispatched) tasks.
+func (p *Pool) Depth() int { return p.Stats().Depth }
 
 // Cap reports the admission-queue capacity.
 func (p *Pool) Cap() int { return p.cap }
 
 // Inflight reports the number of tasks currently executing in workers.
-// Depth()+Inflight() is the pool's outstanding work.
-func (p *Pool) Inflight() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.running
+// For a consistent outstanding-work reading use Stats(), whose
+// Depth+Inflight come from one atomic load.
+func (p *Pool) Inflight() int { return p.Stats().Inflight }
+
+// Dispatched reports how many tasks workers have popped for execution.
+func (p *Pool) Dispatched() uint64 { return p.dispatched.Load() }
+
+// DeadlineMisses reports how many tasks were dispatched after their EDF
+// deadline had already passed — the queue was so backed up that even
+// earliest-deadline-first ordering could not serve them in time. Zero
+// when no clock is installed.
+func (p *Pool) DeadlineMisses() uint64 { return p.misses.Load() }
+
+// SetClock installs the deadline-ordinal clock used to detect late
+// dispatches. It must read the same ordinal space Submit's deadlines use
+// (vipserve: host unix-nanos). A nil clock (the default) disables
+// deadline-miss accounting.
+func (p *Pool) SetClock(fn func() int64) {
+	if fn == nil {
+		p.clock.Store(nil)
+		return
+	}
+	p.clock.Store(&fn)
 }
 
 // Quiesce blocks until the pool is idle — admission queue empty and no
@@ -155,61 +322,32 @@ func (p *Pool) Quiesce(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	stop := context.AfterFunc(ctx, func() {
-		p.mu.Lock()
-		p.idle.Broadcast()
-		p.mu.Unlock()
-	})
+	stop := context.AfterFunc(ctx, p.notifyIdle)
 	defer stop()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for (len(p.q) > 0 || p.running > 0) && ctx.Err() == nil {
+	p.idleMu.Lock()
+	defer p.idleMu.Unlock()
+	for p.state.Load() != 0 && ctx.Err() == nil {
 		p.idle.Wait()
 	}
 	return ctx.Err()
 }
 
-// SetClock installs the deadline-ordinal clock used to detect late
-// dispatches. It must read the same ordinal space Submit's deadlines use
-// (vipserve: host unix-nanos). A nil clock (the default) disables
-// deadline-miss accounting.
-func (p *Pool) SetClock(fn func() int64) {
-	p.mu.Lock()
-	p.clock = fn
-	p.mu.Unlock()
+// notifyIdle wakes Quiesce waiters. Workers call it only on the
+// transition to a fully idle pool, so the idle lock never sits on the
+// dispatch hot path.
+func (p *Pool) notifyIdle() {
+	p.idleMu.Lock()
+	p.idle.Broadcast()
+	p.idleMu.Unlock()
 }
 
-// Dispatched reports how many tasks workers have popped for execution.
-func (p *Pool) Dispatched() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.dispatched
-}
-
-// DeadlineMisses reports how many tasks were dispatched after their EDF
-// deadline had already passed — the queue was so backed up that even
-// earliest-deadline-first ordering could not serve them in time. Zero
-// when no clock is installed.
-func (p *Pool) DeadlineMisses() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.misses
-}
-
-// Close stops admission and waits for the workers to drain the queue
-// and exit. Tasks still queued at Close time are dispatched with a
-// cancelled context, so their submitters observe completion (with
-// ctx.Err() set) rather than a silent drop.
+// Close stops admission and waits for the workers to drain the ring and
+// every reorder heap and exit. Tasks still queued at Close time are
+// dispatched with a cancelled context, so their submitters observe
+// completion (with ctx.Err() set) rather than a silent drop.
 func (p *Pool) Close() {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		p.wg.Wait()
-		return
-	}
-	p.closed = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	p.closed.Store(true)
+	p.closing.Do(func() { close(p.done) })
 	p.wg.Wait()
 }
 
@@ -221,39 +359,96 @@ var closedCtx = func() context.Context {
 	return ctx
 }()
 
-// worker pops earliest-deadline tasks until the pool is closed and
-// drained.
-func (p *Pool) worker() {
+// worker dispatches earliest-deadline tasks until the pool is closed
+// and fully drained.
+func (p *Pool) worker(self int) {
 	defer p.wg.Done()
 	for {
-		p.mu.Lock()
-		for len(p.q) == 0 && !p.closed {
-			p.cond.Wait()
+		t, ok := p.next(self)
+		if !ok {
+			if p.closed.Load() {
+				if uint32(p.state.Load()) == 0 {
+					return // closed and drained: nothing can arrive anymore
+				}
+				// A producer holds an admission reservation but has not
+				// pushed yet; its task is about to appear in the ring.
+				runtime.Gosched()
+				continue
+			}
+			// Park protocol: raise the parked count first, then re-check
+			// the ring. A producer that read parked == 0 and skipped the
+			// wake must have pushed before this re-check (atomic ops are
+			// totally ordered), so the re-check observes its task and we
+			// loop back to next() instead of sleeping through it.
+			p.parked.Add(1)
+			if p.ring.Len() > 0 {
+				p.parked.Add(-1)
+				continue
+			}
+			select {
+			case <-p.wake:
+			case <-p.done:
+			}
+			p.parked.Add(-1)
+			continue
 		}
-		if len(p.q) == 0 && p.closed {
-			p.mu.Unlock()
-			return
-		}
-		t := heap.Pop(&p.q).(task)
-		p.dispatched++
-		p.running++
-		if p.clock != nil && t.deadline < p.clock() {
-			p.misses++
-		}
-		closed := p.closed
-		p.mu.Unlock()
-
 		ctx := t.ctx
-		if closed {
+		if p.closed.Load() {
 			ctx = closedCtx
 		}
 		t.fn(ctx)
-
-		p.mu.Lock()
-		p.running--
-		if len(p.q) == 0 && p.running == 0 {
-			p.idle.Broadcast()
+		if p.state.Add(^(inflightOne - 1)) == 0 {
+			p.notifyIdle()
 		}
-		p.mu.Unlock()
+	}
+}
+
+// next produces the worker's next task: top the private reorder heap
+// up from the ring, dispatch the heap's earliest entry, and fall back
+// to stealing a peer's earliest when both are empty. The drain stops
+// at reorderWindow so a continuous producer stream can neither trap a
+// worker in the drain loop nor inflate the heap's sift depth.
+func (p *Pool) next(self int) (task, bool) {
+	w := &p.workers[self]
+	w.mu.Lock()
+	for w.h.len() < reorderWindow {
+		t, ok := p.ring.TryPop()
+		if !ok {
+			break
+		}
+		w.h.push(t)
+	}
+	if w.h.len() > 0 {
+		t := w.h.pop()
+		w.mu.Unlock()
+		p.noteDispatch(t)
+		return t, true
+	}
+	w.mu.Unlock()
+
+	// Steal scan: no lock is ever held over another's — the own-heap
+	// lock is released above — so steals cannot deadlock, and victims
+	// lose their earliest entry, keeping the stolen work EDF-plausible.
+	for off := 1; off < len(p.workers); off++ {
+		v := &p.workers[(self+off)%len(p.workers)]
+		v.mu.Lock()
+		if v.h.len() > 0 {
+			t := v.h.pop()
+			v.mu.Unlock()
+			p.noteDispatch(t)
+			return t, true
+		}
+		v.mu.Unlock()
+	}
+	return task{}, false
+}
+
+// noteDispatch moves one task from queued to executing in the packed
+// state word and applies the deadline-miss accounting, all on atomics.
+func (p *Pool) noteDispatch(t task) {
+	p.state.Add(inflightOne - 1) // depth-1, inflight+1, indivisibly
+	p.dispatched.Add(1)
+	if c := p.clock.Load(); c != nil && t.deadline < (*c)() {
+		p.misses.Add(1)
 	}
 }

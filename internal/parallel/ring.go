@@ -1,0 +1,124 @@
+package parallel
+
+// This file is the lock-free core of the dispatch path: a bounded
+// multi-producer/multi-consumer ring in the style of Vyukov's array
+// queue, the same shape Virtual-Link uses for scalable inter-IP
+// channels (PAPERS.md). Every slot carries its own sequence counter;
+// a producer claims a slot with one CAS on the enqueue cursor and
+// publishes the value by storing seq = pos+1, a consumer claims with
+// one CAS on the dequeue cursor and recycles the slot by storing
+// seq = pos+capacity. Neither side ever blocks, spins on a remote
+// cacheline, or takes a lock, so under heavy producer counts the cost
+// per operation stays a CAS plus two slot accesses instead of a
+// serializing mutex handoff.
+//
+// Memory-model note: the per-slot seq is a typed atomic; the value
+// field is written plainly, but strictly between the winning CAS and
+// the releasing seq.Store on the producer side, and read strictly
+// after the acquiring seq.Load on the consumer side, so the value
+// hand-off is ordered by the seq edge (Go memory model: sync/atomic
+// operations behave like acquire/release). The race detector agrees —
+// ring_test.go drives concurrent producers and consumers under -race.
+
+import "sync/atomic"
+
+// ringSlot is one cell of the ring: the publication sequence word and
+// the value it hands off.
+type ringSlot[T any] struct {
+	seq atomic.Uint64
+	val T
+}
+
+// Ring is a bounded lock-free MPMC queue. Construct with NewRing; the
+// zero value is unusable. Capacity is rounded up to a power of two so
+// slot indexing is a mask, not a division.
+type Ring[T any] struct {
+	mask  uint64
+	slots []ringSlot[T]
+
+	// Enqueue and dequeue cursors live on their own cache lines:
+	// producers and consumers each contend only on their own word.
+	_   [64]byte
+	enq atomic.Uint64
+	_   [64]byte
+	deq atomic.Uint64
+	_   [64]byte
+}
+
+// NewRing returns an empty ring with capacity rounded up to the next
+// power of two (minimum 2).
+func NewRing[T any](capacity int) *Ring[T] {
+	c := 2
+	for c < capacity {
+		c <<= 1
+	}
+	r := &Ring[T]{mask: uint64(c - 1), slots: make([]ringSlot[T], c)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap reports the ring's (power-of-two) capacity.
+func (r *Ring[T]) Cap() int { return len(r.slots) }
+
+// Len reports the approximate number of queued values. It is exact
+// when no push or pop is concurrently in flight.
+func (r *Ring[T]) Len() int {
+	e, d := r.enq.Load(), r.deq.Load()
+	if e <= d {
+		return 0
+	}
+	if n := int(e - d); n <= len(r.slots) {
+		return n
+	}
+	return len(r.slots)
+}
+
+// TryPush enqueues v, returning false immediately if the ring is full.
+// The fast path is one CAS on the enqueue cursor.
+func (r *Ring[T]) TryPush(v T) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.seq.Load() - pos); {
+		case d == 0: // slot free for this lap: claim it
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.val = v
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load() // lost the race; retry at the new cursor
+		case d < 0: // slot still holds the previous lap's value
+			return false
+		default: // another producer already advanced past pos
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// TryPop dequeues the oldest value, returning ok=false immediately if
+// the ring is empty. The fast path is one CAS on the dequeue cursor.
+// The vacated slot is zeroed so popped values (task contexts, closures)
+// are not pinned by the ring's backing array.
+func (r *Ring[T]) TryPop() (v T, ok bool) {
+	pos := r.deq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		switch d := int64(s.seq.Load() - (pos + 1)); {
+		case d == 0: // slot published for this lap: claim it
+			if r.deq.CompareAndSwap(pos, pos+1) {
+				v = s.val
+				var zero T
+				s.val = zero
+				s.seq.Store(pos + uint64(len(r.slots)))
+				return v, true
+			}
+			pos = r.deq.Load()
+		case d < 0: // slot not published yet: empty
+			return v, false
+		default: // another consumer already advanced past pos
+			pos = r.deq.Load()
+		}
+	}
+}

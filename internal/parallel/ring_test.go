@@ -1,0 +1,193 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRingCapRounding: capacity rounds up to the next power of two,
+// with a floor of 2.
+func TestRingCapRounding(t *testing.T) {
+	for _, c := range []struct{ ask, want int }{
+		{-1, 2}, {0, 2}, {1, 2}, {2, 2}, {3, 4}, {64, 64}, {65, 128}, {1000, 1024},
+	} {
+		if got := NewRing[int](c.ask).Cap(); got != c.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", c.ask, got, c.want)
+		}
+	}
+}
+
+// TestRingFIFO: single-threaded, the ring is an exact FIFO across
+// several wrap-arounds of the slot array.
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	next := 0 // next value to push
+	exp := 0  // next value expected from pop
+	for round := 0; round < 10; round++ {
+		for r.TryPush(next) {
+			next++
+		}
+		if got := r.Len(); got != r.Cap() {
+			t.Fatalf("round %d: Len = %d after filling, want %d", round, got, r.Cap())
+		}
+		// Drain half, refill, then drain fully: exercises wrap.
+		for i := 0; i < r.Cap()/2; i++ {
+			v, ok := r.TryPop()
+			if !ok || v != exp {
+				t.Fatalf("round %d: pop = (%d, %v), want (%d, true)", round, v, ok, exp)
+			}
+			exp++
+		}
+		for r.TryPush(next) {
+			next++
+		}
+		for {
+			v, ok := r.TryPop()
+			if !ok {
+				break
+			}
+			if v != exp {
+				t.Fatalf("round %d: pop = %d, want %d", round, v, exp)
+			}
+			exp++
+		}
+		if exp != next {
+			t.Fatalf("round %d: drained %d values, pushed %d", round, exp, next)
+		}
+	}
+}
+
+// TestRingEmptyAndFull: boundary behavior is non-blocking in both
+// directions.
+func TestRingEmptyAndFull(t *testing.T) {
+	r := NewRing[string](2)
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("TryPop on empty ring reported ok")
+	}
+	if !r.TryPush("a") || !r.TryPush("b") {
+		t.Fatal("pushes below capacity failed")
+	}
+	if r.TryPush("c") {
+		t.Fatal("TryPush on full ring reported ok")
+	}
+	if v, ok := r.TryPop(); !ok || v != "a" {
+		t.Fatalf("pop = (%q, %v), want (a, true)", v, ok)
+	}
+	if !r.TryPush("c") {
+		t.Fatal("push after pop failed")
+	}
+}
+
+// TestRingPopClearsSlot: a popped slot no longer pins the value, so a
+// finalizable payload can be collected while the ring stays alive.
+func TestRingPopClearsSlot(t *testing.T) {
+	r := NewRing[*int](2)
+	collected := make(chan struct{})
+	v := new(int)
+	runtime.SetFinalizer(v, func(*int) { close(collected) })
+	r.TryPush(v)
+	r.TryPop()
+	v = nil
+	for i := 0; i < 100; i++ {
+		runtime.GC()
+		select {
+		case <-collected:
+			return
+		default:
+		}
+	}
+	t.Fatal("popped value still reachable from the ring's backing array")
+}
+
+// TestRingMPMCExactlyOnce: hammer the ring with concurrent producers
+// and consumers; every pushed value must be popped exactly once. Run
+// under -race this is also the memory-model check on the slot hand-off.
+func TestRingMPMCExactlyOnce(t *testing.T) {
+	const (
+		producers = 8
+		consumers = 8
+		perProd   = 2000
+	)
+	r := NewRing[int](64)
+	seen := make([]atomic.Int32, producers*perProd)
+	var popped atomic.Int64
+	var wg sync.WaitGroup
+
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for popped.Load() < producers*perProd {
+				v, ok := r.TryPop()
+				if !ok {
+					runtime.Gosched()
+					continue
+				}
+				seen[v].Add(1)
+				popped.Add(1)
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				v := p*perProd + i
+				for !r.TryPush(v) {
+					runtime.Gosched()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("value %d popped %d times, want exactly once", i, got)
+		}
+	}
+}
+
+// FuzzRingSequential drives an arbitrary push/pop sequence against a
+// plain slice queue: single-threaded, the ring must agree with the
+// model exactly — same accept/reject decisions, same values, and Len
+// within bounds.
+func FuzzRingSequential(f *testing.F) {
+	f.Add([]byte{0x01, 0x80, 0x02, 0x81}, uint8(4))
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x80, 0x80, 0x80}, uint8(2))
+	f.Add([]byte{0x80, 0x01, 0x80, 0x80}, uint8(0))
+	f.Fuzz(func(t *testing.T, ops []byte, capHint uint8) {
+		r := NewRing[int](int(capHint))
+		var model []int
+		for i, op := range ops {
+			if op < 0x80 { // push op, value = i
+				pushed := r.TryPush(i)
+				wantPush := len(model) < r.Cap()
+				if pushed != wantPush {
+					t.Fatalf("op %d: TryPush = %v with %d/%d queued", i, pushed, len(model), r.Cap())
+				}
+				if pushed {
+					model = append(model, i)
+				}
+			} else { // pop op
+				v, ok := r.TryPop()
+				wantOk := len(model) > 0
+				if ok != wantOk {
+					t.Fatalf("op %d: TryPop ok = %v with %d queued", i, ok, len(model))
+				}
+				if ok {
+					if v != model[0] {
+						t.Fatalf("op %d: TryPop = %d, want %d (FIFO)", i, v, model[0])
+					}
+					model = model[1:]
+				}
+			}
+			if got := r.Len(); got != len(model) {
+				t.Fatalf("op %d: Len = %d, model has %d", i, got, len(model))
+			}
+		}
+	})
+}

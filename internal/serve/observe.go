@@ -100,19 +100,23 @@ func (s *Server) logAccess(rs *telemetry.RequestSpan, start time.Time) {
 // keeps serving what it has, but a load balancer should prefer a
 // replica that can still persist acceptances).
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
-	depth, qcap := s.pool.Depth(), s.pool.Cap()
+	// One atomic snapshot: depth and inflight are halves of the same
+	// counter word, so the probe can never observe a torn transition
+	// (task gone from the queue, not yet counted executing).
+	ps := s.pool.Stats()
 	s.mu.Lock()
 	draining, degraded := s.draining, s.storeDegraded
 	s.mu.Unlock()
-	ready := depth < qcap && !draining && !degraded
+	ready := ps.Depth < ps.Cap && !draining && !degraded
 	w.Header().Set("Content-Type", "application/json")
 	if !ready {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	doc := map[string]any{
 		"ready":       ready,
-		"queue_depth": depth,
-		"queue_cap":   qcap,
+		"queue_depth": ps.Depth,
+		"queue_cap":   ps.Cap,
+		"inflight":    ps.Inflight,
 		"workers":     s.cfg.Workers,
 	}
 	if draining {

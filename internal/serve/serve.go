@@ -524,8 +524,9 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusTooManyRequests, "admission queue full (%d queued); retry", s.pool.Cap())
 			return
 		}
+		ps := s.pool.Stats()
 		s.mu.Lock()
-		s.depth.Add(float64(s.pool.Depth()))
+		s.depth.Add(float64(ps.Depth))
 		s.mu.Unlock()
 	}
 
@@ -792,6 +793,10 @@ func (s *Server) statsDoc() map[string]any {
 		st := s.store.Stats()
 		storeStats = &st
 	}
+	// Snapshot the pool gauges in one call so depth+inflight are a
+	// consistent pair, taken outside s.mu (the pool has its own
+	// synchronization and must not nest under the server lock).
+	ps := s.pool.Stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	doc := map[string]any{
@@ -803,10 +808,11 @@ func (s *Server) statsDoc() map[string]any {
 		"async_requests":  s.asyncReqs,
 		"failures":        s.failures,
 		"timeouts":        s.timeouts,
-		"deadline_misses": s.pool.DeadlineMisses(),
-		"dispatched":      s.pool.Dispatched(),
-		"queue_depth":     s.pool.Depth(),
-		"queue_cap":       s.pool.Cap(),
+		"deadline_misses": ps.DeadlineMisses,
+		"dispatched":      ps.Dispatched,
+		"queue_depth":     ps.Depth,
+		"queue_cap":       ps.Cap,
+		"pool_inflight":   ps.Inflight,
 		"inflight":        len(s.inflight),
 		"subscribers":     s.hs.Broker().Subscribers(),
 		"engine_version":  vip.EngineVersion,
@@ -839,6 +845,7 @@ func (s *Server) promInstruments() []byte {
 	if s.store != nil {
 		ss = s.store.Stats()
 	}
+	ps := s.pool.Stats()
 	s.mu.Lock()
 	vals := map[string]float64{
 		"serve.cache.hits":          float64(cs.Hits),
@@ -856,10 +863,11 @@ func (s *Server) promInstruments() []byte {
 		"serve.requests.async":      float64(s.asyncReqs),
 		"serve.failures":            float64(s.failures),
 		"serve.timeout_total":       float64(s.timeouts),
-		"serve.deadline_miss_total": float64(s.pool.DeadlineMisses()),
-		"serve.dispatched_total":    float64(s.pool.Dispatched()),
-		"serve.queue.depth":         float64(s.pool.Depth()),
-		"serve.queue.cap":           float64(s.pool.Cap()),
+		"serve.deadline_miss_total": float64(ps.DeadlineMisses),
+		"serve.dispatched_total":    float64(ps.Dispatched),
+		"serve.queue.depth":         float64(ps.Depth),
+		"serve.queue.cap":           float64(ps.Cap),
+		"serve.queue.inflight":      float64(ps.Inflight),
 		"serve.queue.depth_obs":     float64(s.depth.N()),
 		"serve.queue.depth_p50":     s.depth.P50(),
 		"serve.queue.depth_p95":     s.depth.P95(),
