@@ -1,0 +1,233 @@
+package partition
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// testChains is a small but genuinely multi-domain scenario: with 500µs
+// and 24 chains it crosses domains thousands of times at every n > 1.
+var testChains = ChainScenario{
+	Chains:   24,
+	Hops:     5,
+	Service:  2 * sim.Time(time.Microsecond),
+	HopLat:   10 * sim.Time(time.Microsecond),
+	Work:     16,
+	Duration: 500 * sim.Time(time.Microsecond),
+}
+
+// TestChainResultIndependentOfDomainCount is the core determinism
+// claim: the same scenario yields the same event count and checksum on
+// 1 (pure serial), 2, 3, 4 and 8 domains.
+func TestChainResultIndependentOfDomainCount(t *testing.T) {
+	base := testChains.Run(1)
+	if base.Events == 0 {
+		t.Fatal("serial run executed no events")
+	}
+	if base.Stats.Windows != 0 || base.Stats.Boundary != 0 {
+		t.Fatalf("serial run must not open windows or cross boundaries: %+v", base.Stats)
+	}
+	for _, n := range []int{2, 3, 4, 8} {
+		got := testChains.Run(n)
+		if got.Events != base.Events || got.Checksum != base.Checksum {
+			t.Errorf("domains=%d: events=%d checksum=%#x, want events=%d checksum=%#x",
+				n, got.Events, got.Checksum, base.Events, base.Checksum)
+		}
+		if got.Stats.Boundary == 0 {
+			t.Errorf("domains=%d: no boundary events crossed — scenario did not exercise the rings", n)
+		}
+	}
+}
+
+// TestChainResultStableAcrossRunsAndProcs repeats the same partitioned
+// run under different GOMAXPROCS values; every repetition must be
+// bit-identical. Under -race this also shakes out window data races.
+func TestChainResultStableAcrossRunsAndProcs(t *testing.T) {
+	want := testChains.Run(4)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for rep := 0; rep < 3; rep++ {
+			got := testChains.Run(4)
+			if got.Events != want.Events || got.Checksum != want.Checksum {
+				t.Fatalf("GOMAXPROCS=%d rep %d: events=%d checksum=%#x, want events=%d checksum=%#x",
+					procs, rep, got.Events, got.Checksum, want.Events, want.Checksum)
+			}
+		}
+	}
+}
+
+// TestLoneDomainSprint pins the fast path the production SoC model
+// rides: all events in one domain of a multi-domain coordinator run
+// without any parallel windows, and the outcome matches a serial
+// engine executing the same schedule.
+func TestLoneDomainSprint(t *testing.T) {
+	const n = 100
+	ref := sim.NewEngine()
+	c := New(4, sim.Time(time.Microsecond))
+	var refSum, gotSum uint64
+	for i := 0; i < n; i++ {
+		at := sim.Time(i) * 13
+		i := i
+		ref.At(at, func() { refSum = refSum*31 + uint64(i) })
+		c.Domain(2).Engine().At(at, func() { gotSum = gotSum*31 + uint64(i) })
+	}
+	until := sim.Time(n) * 13
+	ref.Run(until)
+	c.Run(until)
+	if gotSum != refSum {
+		t.Fatalf("lone-domain run diverged: got %#x want %#x", gotSum, refSum)
+	}
+	st := c.Stats()
+	if st.Windows != 0 {
+		t.Fatalf("lone-domain run opened %d parallel windows, want 0 (sprints=%d)", st.Windows, st.Sprints)
+	}
+	if st.Sprints == 0 {
+		t.Fatal("lone-domain run never took the sprint fast path")
+	}
+	if got := c.Domain(0).Engine().Now(); got != until {
+		t.Fatalf("idle domain clock not settled: now=%v want %v", got, until)
+	}
+}
+
+// TestSprintStopsOnSend would tear a window if the sprint overran its
+// first cross-domain send: domain 0 holds a long run of events, one of
+// which sends to domain 1, whose handler sends straight back with the
+// minimum lookahead. If the sprint kept executing past the send, the
+// reply would arrive in domain 0's past and the torn-window check
+// would panic. The run must instead complete with the reply executed.
+func TestSprintStopsOnSend(t *testing.T) {
+	const look = 5 * sim.Time(time.Microsecond)
+	c := New(2, look)
+	d0 := c.Domain(0)
+	var ticks, replies int
+	for i := 0; i < 200; i++ {
+		d0.Engine().At(sim.Time(i)*sim.Time(time.Microsecond), func() { ticks++ })
+	}
+	d0.Engine().At(10*sim.Time(time.Microsecond), func() {
+		d0.Send(1, look, func() {
+			c.Domain(1).Send(0, look, func() { replies++ })
+		})
+	})
+	c.Run(300 * sim.Time(time.Microsecond))
+	if ticks != 200 || replies != 1 {
+		t.Fatalf("ticks=%d replies=%d, want 200 and 1", ticks, replies)
+	}
+}
+
+// TestSlowDomainPinnedByBarrier injects a wall-clock-slow domain and
+// checks the barrier holds the fast domain at the window edge: the slow
+// domain's cross-domain probes must always arrive at or ahead of the
+// fast domain's clock (the torn-window check panics otherwise), and the
+// tallies must match the serial run of the identical scenario.
+func TestSlowDomainPinnedByBarrier(t *testing.T) {
+	slow := testChains
+	slow.Work = 4096 // heavy per-event wall time on every domain it lands in
+	slow.Chains = 8
+	slow.Duration = 200 * sim.Time(time.Microsecond)
+	want := slow.Run(1)
+	got := slow.Run(2)
+	if got.Events != want.Events || got.Checksum != want.Checksum {
+		t.Fatalf("slow-domain run diverged: events=%d checksum=%#x, want events=%d checksum=%#x",
+			got.Events, got.Checksum, want.Events, want.Checksum)
+	}
+	if got.Stats.Windows == 0 {
+		t.Fatal("slow-domain run never opened a window")
+	}
+}
+
+// TestSendBelowLookaheadPanics pins the conservative-invariant guard at
+// the send site.
+func TestSendBelowLookaheadPanics(t *testing.T) {
+	c := New(2, 10)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("cross-domain send below lookahead did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "below the lookahead") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c.Domain(0).Send(1, 9, func() {})
+}
+
+// TestTornWindowPanics pins the barrier's delivery guard: a boundary
+// event behind its destination's clock must be rejected loudly, not
+// silently reordered. The test forges the broken state directly — a
+// destination clock ahead of an in-flight event — which can only arise
+// if a declared lookahead overstates the real latency floor.
+func TestTornWindowPanics(t *testing.T) {
+	c := New(2, 10)
+	d1 := c.Domain(1)
+	d1.Engine().At(100, func() {})
+	d1.Engine().Step() // clock now at 100
+	// Forge an in-flight event at t=50 for domain 1, as if a too-large
+	// lookahead had let domain 0 send into the past.
+	c.rings[1].TryPush(boundary{at: 50, src: 0, seq: 1, dst: 1, fn: func() {}})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("torn-window delivery did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "torn window") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	c.deliver()
+}
+
+// TestZeroLookaheadMultiDomainPanics: a coupled (zero-latency) boundary
+// admits no conservative window; the constructor must refuse it.
+func TestZeroLookaheadMultiDomainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(4, 0) did not panic")
+		}
+	}()
+	New(4, 0)
+}
+
+// TestClockSettle: after Run(until), every domain clock rests exactly
+// at until, matching serial Engine.Run semantics.
+func TestClockSettle(t *testing.T) {
+	c := New(3, 10)
+	c.Domain(1).Engine().At(25, func() {})
+	c.Run(1000)
+	for i := 0; i < c.Domains(); i++ {
+		if now := c.Domain(i).Engine().Now(); now != 1000 {
+			t.Fatalf("domain %d clock at %v, want 1000", i, now)
+		}
+	}
+}
+
+// TestRingOverflowFallsBackToOverflowList floods one destination with
+// more in-flight sends than the ring holds; the overflow path must
+// deliver every event exactly once and in deterministic order.
+func TestRingOverflowFallsBackToOverflowList(t *testing.T) {
+	const total = 3000 // well past ringCap
+	look := sim.Time(10)
+	c := New(2, look)
+	d0 := c.Domain(0)
+	var got []uint64
+	d0.Engine().At(0, func() {
+		for i := 0; i < total; i++ {
+			i := uint64(i)
+			// Same arrival instant for all: order must follow send seq.
+			d0.Send(1, look, func() { got = append(got, i) })
+		}
+	})
+	c.Run(100)
+	if len(got) != total {
+		t.Fatalf("delivered %d events, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("delivery order broken at %d: got %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// FlowChain names one flow and the IP kinds it visits, the unit of
+// placement the partition planner reasons about.
+type FlowChain struct {
+	Name  string
+	Kinds []ipcore.Kind
+}
+
+// PartitionPlan is the planner's verdict on how a scenario could be
+// split into clock domains for the conservative-lookahead runtime
+// (internal/partition).
+//
+// The plan is descriptive, not binding: today's SoC model couples every
+// flow through shared synchronous substrate — one DRAM controller, one
+// NoC fabric, one CPU complex, one energy account — whose interactions
+// are zero-latency method calls, so Coupled is always true and the
+// whole model runs inside a single domain (the coordinator's
+// lone-domain fast path, which is byte-identical to the serial engine).
+// The grouping and lookahead numbers are still real: they are the
+// partition boundaries and window widths a message-passing model of the
+// same scenario would use, and the spec in ARCHITECTURE.md builds on
+// them.
+type PartitionPlan struct {
+	// Requested is the domain count the scenario asked for.
+	Requested int
+	// Lookahead is the conservative window width: the minimum positive
+	// latency across the platform's boundary resources.
+	Lookahead sim.Time
+	// Groups are the flow names partitioned into independent clusters:
+	// two flows share a cluster iff they (transitively) share an IP
+	// kind. Clusters are the finest domain assignment that keeps all
+	// IP-lane arbitration inside one domain.
+	Groups [][]string
+	// Coupled reports that the model instance cannot actually execute
+	// the groups in separate domains; Reason says why.
+	Coupled bool
+	Reason  string
+}
+
+// EffectiveDomains is the domain count the run will really use: the
+// requested count when the model could split, otherwise 1.
+func (p PartitionPlan) EffectiveDomains() int {
+	if p.Coupled || p.Requested < 1 {
+		return 1
+	}
+	if p.Requested > len(p.Groups) {
+		return len(p.Groups)
+	}
+	return p.Requested
+}
+
+// String renders the plan for operator-facing diagnostics (vipsim
+// prints it to stderr; it never enters a report).
+func (p PartitionPlan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partition plan: requested=%d lookahead=%v groups=%d", p.Requested, p.Lookahead, len(p.Groups))
+	for i, g := range p.Groups {
+		fmt.Fprintf(&b, "\n  group %d: %s", i, strings.Join(g, ", "))
+	}
+	if p.Coupled {
+		fmt.Fprintf(&b, "\n  coupled: %s", p.Reason)
+	}
+	return b.String()
+}
+
+// Lookahead derives the conservative window width from the platform's
+// timing floors: the smallest positive latency any event needs to cross
+// a domain boundary. With the Table 3 defaults that is the DRAM CAS
+// latency TCL (12 ns), below the NoC signal latency (20 ns) and the
+// full NoC hop (40 ns). A non-positive result (e.g. an idealized
+// zero-latency memory study) means no conservative window exists.
+func (c Config) Lookahead() sim.Time {
+	floors := []sim.Time{c.NOC.SignalLatency, c.NOC.Latency, c.DRAM.TCL}
+	var look sim.Time
+	for _, f := range floors {
+		if f > 0 && (look == 0 || f < look) {
+			look = f
+		}
+	}
+	return look
+}
+
+// PlanPartitions groups flows into clusters that never contend for the
+// same IP kind (union-find over shared kinds) and pairs the grouping
+// with the platform's lookahead. requested is the scenario's domain
+// ask; the plan reports whether this model build can honor it.
+func PlanPartitions(cfg Config, flows []FlowChain, requested int) PartitionPlan {
+	p := PartitionPlan{Requested: requested, Lookahead: cfg.Lookahead()}
+
+	// Union-find: flows sharing any IP kind must co-locate, because a
+	// kind's lane arbitration is sequential state.
+	parent := make([]int, len(flows))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	owner := make(map[ipcore.Kind]int)
+	for i, f := range flows {
+		for _, k := range f.Kinds {
+			if j, ok := owner[k]; ok {
+				parent[find(i)] = find(j)
+			} else {
+				owner[k] = i
+			}
+		}
+	}
+	groups := make(map[int][]string)
+	order := make([]int, 0)
+	for i, f := range flows {
+		r := find(i)
+		if _, seen := groups[r]; !seen {
+			order = append(order, r)
+		}
+		groups[r] = append(groups[r], f.Name)
+	}
+	sort.Ints(order)
+	for _, r := range order {
+		p.Groups = append(p.Groups, groups[r])
+	}
+
+	// Today every group still shares the synchronous substrate, so the
+	// model is coupled regardless of the grouping.
+	switch {
+	case p.Lookahead <= 0:
+		p.Coupled = true
+		p.Reason = "no positive latency floor (idealized memory/fabric): conservative windows are empty"
+	default:
+		p.Coupled = true
+		p.Reason = "DRAM controller, NoC fabric, CPU complex and energy accounting are shared zero-latency state; the SoC model executes in one clock domain (see ARCHITECTURE.md \"Partitioned execution & conservative lookahead\")"
+	}
+	return p
+}

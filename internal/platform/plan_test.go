@@ -1,0 +1,82 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/vipsim/vip/internal/ipcore"
+	"github.com/vipsim/vip/internal/sim"
+)
+
+// TestLookaheadFromTimingFloors pins the lookahead derivation: the
+// smallest positive boundary latency, which for the Table 3 defaults is
+// the 12 ns DRAM CAS latency (TCL).
+func TestLookaheadFromTimingFloors(t *testing.T) {
+	cfg := DefaultConfig(VIP)
+	if got, want := cfg.Lookahead(), cfg.DRAM.TCL; got != want {
+		t.Fatalf("Lookahead() = %v, want DRAM TCL %v", got, want)
+	}
+	if cfg.Lookahead() <= 0 {
+		t.Fatal("default platform must have a positive lookahead")
+	}
+	cfg.DRAM.TCL = 0
+	if got, want := cfg.Lookahead(), cfg.NOC.SignalLatency; got != want {
+		t.Fatalf("Lookahead() without TCL floor = %v, want NoC signal latency %v", got, want)
+	}
+	cfg.NOC.SignalLatency = 0
+	cfg.NOC.Latency = 0
+	if got := cfg.Lookahead(); got != 0 {
+		t.Fatalf("Lookahead() with no floors = %v, want 0", got)
+	}
+}
+
+// TestPlanPartitionsGrouping pins the union-find clustering: flows
+// sharing an IP kind (directly or transitively) co-locate; disjoint
+// chains split.
+func TestPlanPartitionsGrouping(t *testing.T) {
+	flows := []FlowChain{
+		{Name: "video", Kinds: []ipcore.Kind{ipcore.VD, ipcore.GPU, ipcore.DC}},
+		{Name: "game", Kinds: []ipcore.Kind{ipcore.GPU, ipcore.DC}}, // shares GPU with video
+		{Name: "audio", Kinds: []ipcore.Kind{ipcore.AD, ipcore.SND}},
+		{Name: "net", Kinds: []ipcore.Kind{ipcore.NW}},
+	}
+	p := PlanPartitions(DefaultConfig(VIP), flows, 4)
+	if len(p.Groups) != 3 {
+		t.Fatalf("got %d groups (%v), want 3", len(p.Groups), p.Groups)
+	}
+	if got := strings.Join(p.Groups[0], ","); got != "video,game" {
+		t.Fatalf("group 0 = %q, want video,game", got)
+	}
+	if !p.Coupled || p.Reason == "" {
+		t.Fatal("today's model build must report Coupled with a reason")
+	}
+	if p.EffectiveDomains() != 1 {
+		t.Fatalf("coupled plan EffectiveDomains() = %d, want 1", p.EffectiveDomains())
+	}
+	if p.Lookahead != DefaultConfig(VIP).Lookahead() {
+		t.Fatalf("plan lookahead %v != config lookahead", p.Lookahead)
+	}
+	for _, want := range []string{"requested=4", "groups=3", "coupled:"} {
+		if !strings.Contains(p.String(), want) {
+			t.Fatalf("plan description missing %q:\n%s", want, p)
+		}
+	}
+}
+
+// TestPlatformOnProvidedEngine pins the Engine override: the platform
+// must build onto the supplied engine rather than a fresh one.
+func TestPlatformOnProvidedEngine(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig(VIP)
+	cfg.Engine = eng
+	p := New(cfg)
+	if p.Eng != eng {
+		t.Fatal("platform ignored the configured engine")
+	}
+	var ran bool
+	p.Eng.After(sim.Microsecond, func() { ran = true })
+	eng.Run(2 * sim.Microsecond)
+	if !ran {
+		t.Fatal("event scheduled via platform engine did not run on the provided engine")
+	}
+}

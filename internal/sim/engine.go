@@ -2,33 +2,6 @@ package sim
 
 import "fmt"
 
-// event is a single scheduled callback.
-type event struct {
-	at  Time
-	seq uint64 // tie-breaker: FIFO among events at the same instant
-	fn  func()
-}
-
-// before reports whether e fires strictly before o: earlier timestamp,
-// or FIFO (seq) order at the same instant.
-func (e *event) before(o *event) bool {
-	if e.at != o.at {
-		return e.at < o.at
-	}
-	return e.seq < o.seq
-}
-
-// The event queue is a 4-ary min-heap ordered by (at, seq), stored
-// directly in a []event. Compared to the previous container/heap
-// implementation this removes the interface{} boxing on every Push/Pop
-// (one heap-escaping allocation per scheduled event, millions per run)
-// and halves the tree depth, trading it for a 4-way sibling scan that
-// stays within one cache line of events. Popped slots are explicitly
-// cleared so the closure in a fired event does not stay reachable
-// through the backing array (the old eventHeap.Pop leaked exactly that
-// way: `*h = old[:n-1]` kept old[n-1].fn pinned until the slot was
-// overwritten by a later push).
-
 // defaultQueueCap pre-sizes the queue so steady-state scheduling never
 // grows the backing array. A 4-app scenario peaks at a few hundred
 // in-flight events; 1024 leaves headroom without measurable footprint.
@@ -47,10 +20,16 @@ const EngineVersion = "vip-engine/1"
 // Engine is a deterministic discrete-event scheduler. The zero value is
 // ready to use; Now starts at 0. NewEngine additionally pre-sizes the
 // event queue so the scheduling hot path is allocation-free.
+//
+// An Engine is single-threaded by design: one goroutine at a time may
+// schedule or execute events. The partitioned runtime
+// (internal/partition) runs one Engine per clock domain and hands each
+// domain to at most one worker per synchronization window, with the
+// window barrier ordering every cross-domain hand-off.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events []event // 4-ary min-heap on (at, seq)
+	now Time
+	seq uint64
+	q   eventQueue
 	// Fired counts events executed, exposed for tests and throughput stats.
 	fired uint64
 }
@@ -58,17 +37,30 @@ type Engine struct {
 // NewEngine returns an empty engine with the clock at zero and a
 // pre-sized event queue.
 func NewEngine() *Engine {
-	return &Engine{events: make([]event, 0, defaultQueueCap)}
+	e := &Engine{}
+	e.q.events = make([]event, 0, defaultQueueCap)
+	return e
 }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
 // Pending reports the number of scheduled-but-unfired events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.q.len() }
 
 // Fired reports the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
+
+// NextAt reports the timestamp of the earliest pending event. ok is
+// false when the queue is empty. The partitioned orchestrator uses this
+// peek to compute the global safe-execution horizon (min over domain
+// heads plus the lookahead window) without disturbing the queue.
+func (e *Engine) NextAt() (at Time, ok bool) {
+	if e.q.len() == 0 {
+		return 0, false
+	}
+	return e.q.peek().at, true
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // (t < Now) panics: it would silently reorder causality.
@@ -80,8 +72,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	e.events = append(e.events, event{at: t, seq: e.seq, fn: fn})
-	e.siftUp(len(e.events) - 1)
+	e.q.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d after the current time. Negative d panics.
@@ -92,64 +83,13 @@ func (e *Engine) After(d Time, fn func()) {
 	e.At(e.now+d, fn)
 }
 
-// siftUp restores the heap property from leaf i toward the root.
-func (e *Engine) siftUp(i int) {
-	ev := e.events[i]
-	for i > 0 {
-		p := (i - 1) / 4
-		if e.events[p].before(&ev) {
-			break
-		}
-		e.events[i] = e.events[p]
-		i = p
-	}
-	e.events[i] = ev
-}
-
-// siftDown restores the heap property from the root toward the leaves.
-func (e *Engine) siftDown() {
-	n := len(e.events)
-	ev := e.events[0]
-	i := 0
-	for {
-		c := 4*i + 1
-		if c >= n {
-			break
-		}
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		min := c
-		for s := c + 1; s < end; s++ {
-			if e.events[s].before(&e.events[min]) {
-				min = s
-			}
-		}
-		if ev.before(&e.events[min]) {
-			break
-		}
-		e.events[i] = e.events[min]
-		i = min
-	}
-	e.events[i] = ev
-}
-
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	n := len(e.events)
-	if n == 0 {
+	if e.q.len() == 0 {
 		return false
 	}
-	ev := e.events[0]
-	n--
-	e.events[0] = e.events[n]
-	e.events[n] = event{} // unpin the moved event's closure
-	e.events = e.events[:n]
-	if n > 1 {
-		e.siftDown()
-	}
+	ev := e.q.pop()
 	e.now = ev.at
 	e.fired++
 	ev.fn()
@@ -160,7 +100,7 @@ func (e *Engine) Step() bool {
 // next event lies strictly beyond until; the clock then rests at the time
 // of the last executed event or at until, whichever is larger.
 func (e *Engine) Run(until Time) {
-	for len(e.events) > 0 && e.events[0].at <= until {
+	for e.q.len() > 0 && e.q.peek().at <= until {
 		e.Step()
 	}
 	if e.now < until {

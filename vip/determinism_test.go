@@ -3,6 +3,7 @@ package vip_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"github.com/vipsim/vip/internal/experiments"
@@ -23,8 +24,9 @@ type artifacts struct {
 
 // runOnce executes a faulted, recovered, metered, traced multi-app
 // scenario — every subsystem that could smuggle nondeterminism into an
-// export is on.
-func runOnce(t *testing.T, seed uint64) artifacts {
+// export is on — on the serial engine (partitions <= 1) or the
+// partitioned runtime.
+func runOnce(t *testing.T, seed uint64, partitions int) artifacts {
 	t.Helper()
 	var chrome bytes.Buffer
 	faults := vip.UniformFaults(0.02)
@@ -37,6 +39,7 @@ func runOnce(t *testing.T, seed uint64) artifacts {
 		ChromeTrace:     &chrome,
 		TraceSpans:      true,
 		Faults:          faults,
+		Partitions:      partitions,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -78,8 +81,26 @@ func runOnce(t *testing.T, seed uint64) artifacts {
 // must export byte-identical report JSON, metric time series (JSON and
 // CSV), Chrome trace and summary.
 func TestSameSeedByteIdentical(t *testing.T) {
-	a := runOnce(t, 7)
-	b := runOnce(t, 7)
+	a := runOnce(t, 7, 1)
+	b := runOnce(t, 7, 1)
+	checkArtifacts(t, "same-seed runs", a, b)
+	if len(a.report) == 0 || len(a.tsCSV) == 0 || len(a.chrome) == 0 || len(a.spanJSONL) == 0 {
+		t.Fatal("a determinism check over empty artifacts proves nothing")
+	}
+	// The faulted multi-app scenario must exercise every span category,
+	// or the byte-compare above silently loses coverage.
+	for _, cat := range []string{`"cat":"frame"`, `"cat":"hop"`, `"cat":"qos"`, `"cat":"recovery"`} {
+		if !bytes.Contains(a.spanJSONL, []byte(cat)) {
+			t.Errorf("span log has no %s spans", cat)
+		}
+	}
+}
+
+// checkArtifacts compares every artifact of two runs byte for byte,
+// reporting the first divergence with context. label names the pair in
+// failures ("run1" vs "run2" framing).
+func checkArtifacts(t *testing.T, label string, a, b artifacts) {
+	t.Helper()
 	check := func(name string, x, y []byte) {
 		t.Helper()
 		if !bytes.Equal(x, y) {
@@ -88,8 +109,8 @@ func TestSameSeedByteIdentical(t *testing.T) {
 				i++
 			}
 			lo, hi := max(0, i-80), min(min(len(x), len(y)), i+80)
-			t.Errorf("%s differs between same-seed runs at byte %d:\n run1: …%s…\n run2: …%s…",
-				name, i, x[lo:hi], y[lo:hi])
+			t.Errorf("%s differs between %s at byte %d:\n run1: …%s…\n run2: …%s…",
+				name, label, i, x[lo:hi], y[lo:hi])
 		}
 	}
 	check("report JSON", a.report, b.report)
@@ -99,16 +120,77 @@ func TestSameSeedByteIdentical(t *testing.T) {
 	check("span JSONL", a.spanJSONL, b.spanJSONL)
 	check("span chrome trace", a.spanChrome, b.spanChrome)
 	if a.summary != b.summary {
-		t.Errorf("summaries differ between same-seed runs:\n%s\n---\n%s", a.summary, b.summary)
+		t.Errorf("summaries differ between %s:\n%s\n---\n%s", label, a.summary, b.summary)
 	}
-	if len(a.report) == 0 || len(a.tsCSV) == 0 || len(a.chrome) == 0 || len(a.spanJSONL) == 0 {
-		t.Fatal("a determinism check over empty artifacts proves nothing")
+}
+
+// TestPartitionedMatchesSerial is the partitioned engine's headline
+// contract (ARCHITECTURE.md "Partitioned execution & conservative
+// lookahead"): running the full faulted/metered/traced corpus scenario
+// with -partitions 2/4/8 exports the same bytes as the serial engine —
+// report JSON, both time-series encodings, both trace formats, span
+// JSONL, summary.
+func TestPartitionedMatchesSerial(t *testing.T) {
+	serial := runOnce(t, 7, 1)
+	if len(serial.report) == 0 || len(serial.spanJSONL) == 0 {
+		t.Fatal("serial baseline artifacts are empty; the comparison proves nothing")
 	}
-	// The faulted multi-app scenario must exercise every span category,
-	// or the byte-compare above silently loses coverage.
-	for _, cat := range []string{`"cat":"frame"`, `"cat":"hop"`, `"cat":"qos"`, `"cat":"recovery"`} {
-		if !bytes.Contains(a.spanJSONL, []byte(cat)) {
-			t.Errorf("span log has no %s spans", cat)
+	for _, parts := range []int{2, 4, 8} {
+		part := runOnce(t, 7, parts)
+		checkArtifacts(t, fmt.Sprintf("serial and partitions=%d", parts), serial, part)
+	}
+}
+
+// TestFaultGridPartitionedMatchesSerial sweeps the riskiest interaction
+// — fault injection plus partitioning — across fault rates and both
+// recovery arms: every cell must be byte-identical between the serial
+// and the 4-domain engine. Fault streams, watchdog resets, retries and
+// degradation all ride engine event order, so any partition-runtime
+// ordering slip shows up here first.
+func TestFaultGridPartitionedMatchesSerial(t *testing.T) {
+	for _, rate := range []float64{0, 0.01, 0.05} {
+		for _, noRecovery := range []bool{false, true} {
+			if rate == 0 && noRecovery {
+				continue // no faults: the recovery arm changes nothing
+			}
+			sc := vip.Scenario{
+				System:     vip.SystemVIP,
+				Apps:       []string{"A5", "A2"},
+				Duration:   40 * vip.Millisecond,
+				Seed:       11,
+				TraceSpans: true,
+			}
+			if rate > 0 {
+				f := vip.UniformFaults(rate)
+				f.DisableRecovery = noRecovery
+				sc.Faults = f
+			}
+			run := func(partitions int) (report, spans []byte) {
+				s := sc
+				s.Partitions = partitions
+				res, err := vip.Simulate(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := res.WriteReportJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				report = append([]byte(nil), buf.Bytes()...)
+				buf.Reset()
+				if err := res.WriteSpanJSONL(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return report, append([]byte(nil), buf.Bytes()...)
+			}
+			serialReport, serialSpans := run(1)
+			partReport, partSpans := run(4)
+			if !bytes.Equal(serialReport, partReport) || !bytes.Equal(serialSpans, partSpans) {
+				t.Errorf("rate=%g noRecovery=%v: partitions=4 diverges from serial", rate, noRecovery)
+			}
+			if len(serialReport) == 0 {
+				t.Fatalf("rate=%g noRecovery=%v: empty report", rate, noRecovery)
+			}
 		}
 	}
 }
@@ -174,8 +256,8 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 // produced identical faulted timelines, the byte-compare above would be
 // vacuously green.
 func TestDifferentSeedDiverges(t *testing.T) {
-	a := runOnce(t, 7)
-	b := runOnce(t, 8)
+	a := runOnce(t, 7, 1)
+	b := runOnce(t, 8, 1)
 	if bytes.Equal(a.tsJSON, b.tsJSON) && bytes.Equal(a.report, b.report) {
 		t.Error("seeds 7 and 8 produced identical artifacts; the seed is not reaching the models")
 	}
